@@ -1,0 +1,86 @@
+"""Microbenchmarks of the simulation substrate.
+
+Not tied to a paper artifact — these track the cost of the hot paths
+(event dispatch, channel transmission, cache access, directory
+transitions, CPU-simulation throughput) so performance regressions in
+the substrate are visible independently of the experiment harnesses.
+"""
+
+import random
+
+from repro.core.engine import Simulator
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.directory import Directory
+from repro.cpu.system import generate_trace
+from repro.macrochip.config import small_test_config
+from repro.networks.base import Channel, Packet
+from repro.workloads.kernels import RadixKernel
+
+
+def test_event_dispatch_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+
+        def tick(n):
+            if n:
+                sim.schedule(10, tick, n - 1)
+
+        sim.at(0, tick, 10_000)
+        sim.run()
+        return sim.now
+
+    assert benchmark(run_10k_events) == 100_000
+
+
+def test_channel_send_throughput(benchmark):
+    def send_5k():
+        sim = Simulator()
+        ch = Channel(sim, 5.0, 100)
+        for _ in range(5000):
+            ch.send(Packet(0, 1, 64), lambda p: None)
+        sim.run()
+        return ch.busy_ps
+
+    assert benchmark(send_5k) == 5000 * 12800
+
+
+def test_cache_access_throughput(benchmark):
+    addrs = [random.Random(1).randrange(1 << 24) for _ in range(5000)]
+
+    def churn():
+        cache = SetAssociativeCache(256 * 1024, 64, 8)
+        hits = 0
+        for a in addrs:
+            if cache.access(a, bool(a & 1)).hit:
+                hits += 1
+        return hits
+
+    benchmark(churn)
+
+
+def test_directory_transition_throughput(benchmark):
+    rng = random.Random(2)
+    ops = [(rng.choice(["r", "w"]), rng.randrange(64), rng.randrange(256))
+           for _ in range(5000)]
+
+    def churn():
+        d = Directory(64)
+        for op, site, line_no in ops:
+            line = line_no * 64
+            if op == "r":
+                d.read(line, site)
+            else:
+                d.write(line, site)
+        return len(d._entries)
+
+    benchmark(churn)
+
+
+def test_cpu_simulation_throughput(benchmark):
+    cfg = small_test_config(2, 2)
+    kernel = RadixKernel(refs_per_core=100)
+
+    def run():
+        return generate_trace(kernel, cfg).total_ops
+
+    assert benchmark(run) > 0

@@ -1,0 +1,79 @@
+"""Benchmark regenerating Figure 6 (latency vs offered load).
+
+One benchmark per traffic-pattern panel.  Each runs a reduced sweep
+(short injection windows, thinned load grids, all five networks on the
+paper's 8x8 configuration), prints the panel's series, and asserts the
+panel's headline property from section 6.1.
+"""
+
+import pytest
+
+from repro.experiments.figure6 import figure6_text, run_figure6
+from repro.macrochip.config import scaled_config
+
+CFG = scaled_config()
+PEAK = CFG.num_sites * CFG.site_bandwidth_gb_per_s
+WINDOW_NS = 150.0
+
+GRIDS = {
+    "uniform": [0.05, 0.40, 0.90],
+    "transpose": [0.005, 0.015, 0.05],
+    "neighbor": [0.04, 0.12, 0.24],
+    "butterfly": [0.005, 0.015, 0.05],
+}
+
+
+def _run_panel(pattern):
+    return run_figure6(CFG, window_ns=WINDOW_NS, patterns=[pattern],
+                       load_grids=GRIDS)
+
+
+def _sustained(result, pattern):
+    return {net: max(p.delivered_fraction for p in pts)
+            for net, pts in result.curves[pattern].items()}
+
+
+def test_figure6_uniform(benchmark):
+    result = benchmark.pedantic(_run_panel, args=("uniform",),
+                                rounds=1, iterations=1)
+    sust = _sustained(result, "uniform")
+    # section 6.1 ordering on uniform random traffic
+    assert sust["point_to_point"] > sust["limited_point_to_point"]
+    assert sust["point_to_point"] > 0.6
+    assert sust["two_phase"] < sust["token_ring"]
+    assert sust["circuit_switched"] < 0.05
+    print()
+    print(figure6_text(result))
+
+
+def test_figure6_transpose(benchmark):
+    result = benchmark.pedantic(_run_panel, args=("transpose",),
+                                rounds=1, iterations=1)
+    sust = _sustained(result, "transpose")
+    # the P2P channel caps at 5 GB/s per site (~1.56% of peak) and the
+    # token ring falls below it
+    assert sust["point_to_point"] < 0.02
+    assert sust["token_ring"] < sust["point_to_point"]
+    print()
+    print(figure6_text(result))
+
+
+def test_figure6_neighbor(benchmark):
+    result = benchmark.pedantic(_run_panel, args=("neighbor",),
+                                rounds=1, iterations=1)
+    sust = _sustained(result, "neighbor")
+    # nearest-neighbor maps onto the limited P2P's direct links
+    assert sust["limited_point_to_point"] == max(sust.values())
+    print()
+    print(figure6_text(result))
+
+
+def test_figure6_butterfly(benchmark):
+    result = benchmark.pedantic(_run_panel, args=("butterfly",),
+                                rounds=1, iterations=1)
+    sust = _sustained(result, "butterfly")
+    # half the butterfly traffic is intra-site loopback; the optical
+    # networks only carry the moving half
+    assert sust["token_ring"] < sust["point_to_point"]
+    print()
+    print(figure6_text(result))

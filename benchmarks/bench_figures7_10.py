@@ -1,0 +1,67 @@
+"""Benchmarks regenerating Figures 7, 8, 9, and 10.
+
+The closed-loop campaign (CPU simulation + replay of every workload on
+every network) runs once per session via the ``bench_suite`` fixture;
+each figure's benchmark measures the campaign-or-derivation cost for its
+artifact, prints the figure's rows, and asserts its headline claim.
+"""
+
+from repro.experiments.evaluation import run_suite
+from repro.experiments.figures7_10 import (
+    figure7_speedups,
+    figure7_text,
+    figure8_latencies,
+    figure8_text,
+    figure9_router_fractions,
+    figure9_text,
+    figure10_edp,
+    figure10_text,
+)
+from repro.macrochip.config import scaled_config
+
+
+def test_figure7_speedups(benchmark, bench_suite):
+    """Figure 7: the campaign itself is the measured cost (run once more
+    for timing on a single workload), the shared suite provides rows."""
+    benchmark.pedantic(
+        run_suite, args=("smoke",),
+        kwargs={"config": scaled_config(), "workloads": ["All-to-all"],
+                "networks": ["point_to_point", "circuit_switched"]},
+        rounds=1, iterations=1)
+    speedups = figure7_speedups(bench_suite)
+    for workload, by_net in speedups.items():
+        assert by_net["circuit_switched"] == 1.0
+        assert by_net["point_to_point"] > 1.0, workload
+    print()
+    print(figure7_text(bench_suite))
+
+
+def test_figure8_latency_per_op(benchmark, bench_suite):
+    latencies = benchmark(figure8_latencies, bench_suite)
+    # paper: P2P latency per coherence op <= ~100 ns on synthetics
+    assert latencies["All-to-all"]["point_to_point"] < 100.0
+    # the circuit-switched torus pays its multi-hop path setup
+    assert (latencies["All-to-all"]["circuit_switched"]
+            > 2 * latencies["All-to-all"]["point_to_point"])
+    print()
+    print(figure8_text(bench_suite))
+
+
+def test_figure9_router_energy(benchmark, bench_suite):
+    fractions = benchmark(figure9_router_fractions, bench_suite)
+    # forwarding-free neighbor traffic uses almost no router energy;
+    # all-to-all forwards ~75% of packets and pays the most
+    assert fractions["Neighbor"] < fractions["All-to-all"]
+    print()
+    print(figure9_text(bench_suite))
+
+
+def test_figure10_edp(benchmark, bench_suite):
+    edp = benchmark(figure10_edp, bench_suite)
+    for workload, by_net in edp.items():
+        assert by_net["point_to_point"] == 1.0
+        # paper: arbitrated/circuit-switched networks are 10-100x worse
+        assert by_net["token_ring"] > 5.0, workload
+        assert by_net["circuit_switched"] > 5.0, workload
+    print()
+    print(figure10_text(bench_suite))

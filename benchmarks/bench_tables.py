@@ -1,0 +1,45 @@
+"""Benchmarks regenerating the paper's Tables 1, 4, 5, and 6.
+
+Each benchmark produces exactly the table the paper prints (asserted
+against the paper's values where the numbers are exact) and measures the
+cost of deriving it from the component/topology models.
+"""
+
+from repro.analysis.power import table5_rows
+from repro.experiments.table_experiments import (
+    table1_text,
+    table4_text,
+    table5_text,
+    table6_text,
+)
+from repro.networks.complexity import table6_rows
+
+
+def test_table1_component_properties(benchmark):
+    text = benchmark(table1_text)
+    assert "35 fJ/bit" in text
+    assert "4 dB" in text
+
+
+def test_table4_simulated_configuration(benchmark):
+    text = benchmark(table4_text)
+    assert "320 GB/sec" in text
+    assert "20 TB/sec" in text
+
+
+def test_table5_network_optical_power(benchmark):
+    rows = benchmark(table5_rows)
+    by_name = {r.network: r for r in rows}
+    assert round(by_name["Point-to-Point"].laser_power_w, 1) == 8.2
+    assert 150 < by_name["Token-Ring"].laser_power_w < 160
+    print()
+    print(table5_text())
+
+
+def test_table6_component_counts(benchmark):
+    rows = benchmark(table6_rows)
+    by_name = {r.network: r for r in rows}
+    assert by_name["Token-Ring"].transmitters == 512 * 1024
+    assert by_name["Point-to-Point"].waveguides == 3072
+    print()
+    print(table6_text())

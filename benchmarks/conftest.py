@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+The figure benchmarks replay reduced-size versions of the paper's
+experiments (same pipeline, smaller workloads) so the whole harness runs
+in minutes.  A module-scoped suite fixture runs the closed-loop
+benchmark grid once; the per-figure benchmarks derive their artifact
+from it, mirroring how Figures 7-10 share one simulation campaign in
+the paper.
+"""
+
+import pytest
+
+from repro.experiments.evaluation import run_suite
+from repro.macrochip.config import scaled_config
+
+
+#: workloads exercised by the benchmark-harness suite (one app kernel +
+#: two synthetics keeps the harness minutes-scale while covering both
+#: trace sources)
+BENCH_WORKLOADS = ["Radix", "All-to-all", "Neighbor"]
+
+
+@pytest.fixture(scope="session")
+def bench_suite():
+    """One smoke-preset closed-loop campaign shared by Figures 7-10."""
+    return run_suite("smoke", config=scaled_config(),
+                     workloads=BENCH_WORKLOADS)

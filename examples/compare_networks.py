@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Compare all five network architectures on one traffic pattern.
+
+A miniature Figure 6 panel: sweeps every network over a chosen pattern
+and prints the latency-vs-load columns plus each network's sustained
+bandwidth at the knee.
+
+Run:  python examples/compare_networks.py [uniform|transpose|neighbor|butterfly]
+"""
+
+import sys
+
+from repro import scaled_config
+from repro.analysis.tables import render_table
+from repro.core.sweep import sweep
+from repro.networks.factory import FIGURE6_NETWORKS, NETWORK_CLASSES
+from repro.workloads.synthetic import make_pattern
+
+
+LOADS = {
+    "uniform": [0.05, 0.25, 0.50, 0.90],
+    "transpose": [0.005, 0.012, 0.03, 0.06],
+    "neighbor": [0.02, 0.08, 0.16, 0.25],
+    "butterfly": [0.005, 0.012, 0.03, 0.06],
+}
+
+
+def main(pattern_key: str) -> None:
+    config = scaled_config()
+    total_peak = config.num_sites * config.site_bandwidth_gb_per_s
+    loads = LOADS[pattern_key]
+    rows = []
+    for net in FIGURE6_NETWORKS:
+        pattern = make_pattern(pattern_key, config.layout)
+        points = sweep(net, config, pattern, loads, window_ns=400.0)
+        best = max(p.delivered_fraction for p in points
+                   if not p.saturated) if any(
+            not p.saturated for p in points) else max(
+            p.delivered_fraction for p in points)
+        row = [NETWORK_CLASSES[net].name]
+        row += ["%.1f ns" % p.mean_latency_ns for p in points]
+        row.append("%.1f%%" % (best * 100))
+        rows.append(row)
+        print(".. %s done" % net, file=sys.stderr)
+    headers = ["Network"] + ["%.1f%% load" % (f * 100) for f in loads]
+    headers.append("sustained")
+    print(render_table(headers, rows,
+                       title="Latency vs offered load [%s], 64 B packets"
+                             % pattern_key))
+
+
+if __name__ == "__main__":
+    key = sys.argv[1] if len(sys.argv) > 1 else "uniform"
+    if key not in LOADS:
+        raise SystemExit("pattern must be one of %s" % ", ".join(LOADS))
+    main(key)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Explore the macrochip's optical link budget and network laser power.
+
+Walks the canonical un-switched link component by component (Figure 2 /
+section 2: 17 dB total against a 21 dB budget), then regenerates the
+Table 5 laser-power comparison and shows how it responds to a technology
+change — halving the broadband-switch loss — the kind of what-if the
+component models make one-liners.
+
+Run:  python examples/power_budget.py
+"""
+
+from repro import scaled_config
+from repro.analysis.power import table5_rows
+from repro.analysis.tables import render_table
+from repro.photonics.loss import budget_for, unswitched_link
+
+
+def main() -> None:
+    config = scaled_config()
+
+    print("Canonical un-switched site-to-site link (Figure 2):")
+    path = unswitched_link(config.tech)
+    print(path.describe())
+    budget = budget_for(path, config.tech)
+    print("margin: %.1f dB against %.0f dB budget -> link %s"
+          % (budget.margin_db, config.tech.link_margin_db,
+             "closes" if budget.closes else "DOES NOT CLOSE"))
+    print()
+
+    print(render_table(
+        ["Network", "Loss factor", "Laser power"],
+        [(r.network, "%.1fx" % r.loss_factor, "%.1f W" % r.laser_power_w)
+         for r in table5_rows(config)],
+        title="Table 5 (derived): network optical power"))
+    print()
+
+    # what-if: a better broadband switch (0.5 dB instead of 1 dB)
+    better = config.with_overrides(
+        tech=config.tech.with_overrides(switch_loss_db=0.5))
+    rows = {r.network: r for r in table5_rows(better)}
+    base = {r.network: r for r in table5_rows(config)}
+    print("What-if: broadband switch loss halved to 0.5 dB")
+    for name in ("Two-Phase Data", "Two-Phase Data (ALT)"):
+        print("  %-22s %.1f W -> %.1f W"
+              % (name, base[name].laser_power_w, rows[name].laser_power_w))
+    print("Switch-free networks (point-to-point, token ring) are of")
+    print("course unaffected — the complexity argument of section 6.4.")
+
+
+if __name__ == "__main__":
+    main()

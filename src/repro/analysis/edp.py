@@ -1,0 +1,83 @@
+"""Energy-delay product analysis (section 6.3, Figure 10).
+
+For one (workload, network) replay::
+
+    energy = static_power x runtime + dynamic_energy
+    EDP    = energy x runtime
+
+Figure 10 plots EDP normalized to the point-to-point network on a log
+axis, which is how :func:`normalized_edp` reports it.  Units cancel under
+normalization; internally energy is pJ and time ps (1 W == 1 pJ/ps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .power import static_power_w
+from ..macrochip.config import MacrochipConfig, scaled_config
+from ..workloads.replay import ReplayResult
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one replay, split by origin."""
+
+    network: str
+    workload: str
+    runtime_ps: int
+    static_pj: float
+    optical_pj: float
+    router_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.static_pj + self.optical_pj + self.router_pj
+
+    @property
+    def edp(self) -> float:
+        """Energy x delay, in pJ x ps."""
+        return self.total_pj * self.runtime_ps
+
+    @property
+    def router_fraction(self) -> float:
+        """Figure 9's metric."""
+        total = self.total_pj
+        return self.router_pj / total if total > 0 else 0.0
+
+
+def energy_breakdown(result: ReplayResult, network_key: str,
+                     config: MacrochipConfig = None) -> EnergyBreakdown:
+    """Combine a replay's dynamic accounting with the network's static
+    power over the measured runtime."""
+    cfg = config or scaled_config()
+    static_w = static_power_w(network_key, cfg)
+    return EnergyBreakdown(
+        network=result.network,
+        workload=result.workload,
+        runtime_ps=result.runtime_ps,
+        static_pj=static_w * result.runtime_ps,
+        optical_pj=result.energy_by_category.get("optical", 0.0),
+        router_pj=result.energy_by_category.get("router", 0.0),
+    )
+
+
+def normalized_edp(breakdowns: Dict[str, EnergyBreakdown],
+                   baseline_key: str = "point_to_point") -> Dict[str, float]:
+    """EDP of each network divided by the baseline's (Figure 10)."""
+    if baseline_key not in breakdowns:
+        raise KeyError("baseline %r missing from results" % baseline_key)
+    base = breakdowns[baseline_key].edp
+    if base <= 0:
+        raise ValueError("baseline EDP must be positive")
+    return {key: b.edp / base for key, b in breakdowns.items()}
+
+
+def speedups(runtimes_ps: Dict[str, int],
+             baseline_key: str = "circuit_switched") -> Dict[str, float]:
+    """Runtime speedup of each network over the baseline (Figure 7)."""
+    if baseline_key not in runtimes_ps:
+        raise KeyError("baseline %r missing from results" % baseline_key)
+    base = runtimes_ps[baseline_key]
+    return {key: base / rt for key, rt in runtimes_ps.items()}

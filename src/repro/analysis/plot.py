@@ -1,0 +1,113 @@
+"""ASCII plotting for experiment results.
+
+The experiment harnesses are terminal-first; this module renders the
+latency-vs-load curves of Figure 6 (and any (x, y) series) as ASCII
+scatter plots so the *shape* — knees, asymptotes, crossovers — is
+visible without leaving the shell.
+
+Only standard characters are used; each series gets a distinct marker
+and the legend maps markers back to series names.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _finite(points: Series) -> List[Tuple[float, float]]:
+    return [(x, y) for x, y in points
+            if not (math.isnan(x) or math.isnan(y)
+                    or math.isinf(x) or math.isinf(y))]
+
+
+def ascii_plot(series: Dict[str, Series],
+               width: int = 64, height: int = 18,
+               title: str = "", xlabel: str = "", ylabel: str = "",
+               log_y: bool = False) -> str:
+    """Render named (x, y) series on one ASCII canvas.
+
+    ``log_y`` plots a log10 y-axis — useful for latency curves whose
+    saturated tail is orders of magnitude above the floor (and for the
+    paper's log-scale Figure 10).
+    """
+    if width < 16 or height < 4:
+        raise ValueError("canvas too small to plot on")
+    cleaned = {name: _finite(pts) for name, pts in series.items()}
+    cleaned = {name: pts for name, pts in cleaned.items() if pts}
+    if not cleaned:
+        raise ValueError("nothing to plot")
+    if len(cleaned) > len(_MARKERS):
+        raise ValueError("too many series (max %d)" % len(_MARKERS))
+
+    xs = [x for pts in cleaned.values() for x, _ in pts]
+    ys = [y for pts in cleaned.values() for _, y in pts]
+    if log_y:
+        if min(ys) <= 0:
+            raise ValueError("log_y requires positive y values")
+        ys = [math.log10(y) for y in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(sorted(cleaned.items()), _MARKERS):
+        for x, y in pts:
+            yv = math.log10(y) if log_y else y
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((yv - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    y_top = 10 ** y_hi if log_y else y_hi
+    y_bot = 10 ** y_lo if log_y else y_lo
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    axis_width = 10
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = "%9.3g" % y_top
+        elif i == height - 1:
+            label = "%9.3g" % y_bot
+        else:
+            label = " " * 9
+        lines.append("%s |%s" % (label, "".join(row)))
+    lines.append(" " * axis_width + "+" + "-" * width)
+    x_axis = "%-*.3g%*.3g" % (width // 2, x_lo, width - width // 2, x_hi)
+    lines.append(" " * (axis_width + 1) + x_axis)
+    if xlabel or ylabel:
+        lines.append(" " * (axis_width + 1)
+                     + "x: %s%s" % (xlabel,
+                                    ("   y: %s" % ylabel) if ylabel else ""))
+    legend = "   ".join("%c=%s" % (marker, name)
+                        for (name, _), marker
+                        in zip(sorted(cleaned.items()), _MARKERS))
+    lines.append("  " + legend)
+    return "\n".join(lines)
+
+
+def plot_figure6_panel(result, pattern: str,
+                       width: int = 64, height: int = 16,
+                       log_y: bool = True) -> str:
+    """Plot one Figure 6 panel from a
+    :class:`repro.experiments.figure6.Figure6Result`."""
+    from ..networks.factory import NETWORK_CLASSES
+
+    curves = result.curves.get(pattern)
+    if not curves:
+        raise KeyError("pattern %r not in this result" % pattern)
+    series = {
+        NETWORK_CLASSES[net].name:
+            [(p.offered_fraction * 100.0, p.mean_latency_ns)
+             for p in points if not math.isnan(p.mean_latency_ns)]
+        for net, points in curves.items()
+    }
+    return ascii_plot(series, width=width, height=height,
+                      title="Figure 6 [%s]" % pattern,
+                      xlabel="offered load (%)",
+                      ylabel="mean latency (ns)", log_y=log_y)

@@ -1,0 +1,82 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment driver prints its results through these helpers so the
+regenerated tables/figures have one consistent, diffable format (the
+EXPERIMENTS.md records are produced from exactly this output).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render rows as an aligned ASCII table.
+
+    Cells are stringified; numeric cells are right-aligned, text cells
+    left-aligned.
+    """
+    str_rows: List[List[str]] = []
+    numeric: List[bool] = [True] * len(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width %d != header width %d"
+                             % (len(row), len(headers)))
+        cells = []
+        for i, cell in enumerate(row):
+            if isinstance(cell, float):
+                cells.append("%.2f" % cell)
+            else:
+                cells.append(str(cell))
+                if not isinstance(cell, int):
+                    numeric[i] = False
+        str_rows.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in str_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str], force_left: bool = False) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if numeric[i] and not force_left:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers), force_left=True))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(cells) for cells in str_rows)
+    return "\n".join(lines)
+
+
+def format_count(n: int) -> str:
+    """Component counts in the paper's 'K' style: 16384 -> '16K', but
+    smaller round counts stay exact (the paper prints 8192, 3072, ...)."""
+    if n >= 15360 and n % 1024 == 0:
+        return "%dK" % (n // 1024)
+    return str(n)
+
+
+def render_series(title: str, xlabel: str, ylabel: str,
+                  series: dict) -> str:
+    """Render named (x, y) series as aligned columns — the textual stand-in
+    for one figure panel."""
+    names = list(series)
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    headers = [xlabel] + names
+    rows = []
+    lookup = {name: dict(pts) for name, pts in series.items()}
+    for x in xs:
+        row = ["%.3g" % x]
+        for name in names:
+            y = lookup[name].get(x)
+            row.append("%.2f" % y if y is not None else "-")
+        rows.append(row)
+    out = render_table(headers, rows, title="%s  (y = %s)" % (title, ylabel))
+    return out

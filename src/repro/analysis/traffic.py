@@ -1,0 +1,160 @@
+"""Traffic characterization: per-class and per-pair breakdowns.
+
+The evaluation's aggregate numbers (Figures 6-10) hide *why* a network
+wins: how much of the byte volume is small control messages vs cache
+lines, and how spatially concentrated the load is.  This module collects
+both views from any run that registers its collector as the network
+sink:
+
+* :class:`TrafficMatrix` — bytes and packets per (source, destination)
+  pair, with hotspots and a row/column marginal view;
+* :class:`ClassBreakdown` — packets/bytes/latency per message class
+  ('req', 'data', 'inv', 'ack', ...), the paper's small-vs-large message
+  story in numbers (section 6.2: "invalidate and acknowledgment packets
+  which are small in size, and so the arbitration overhead dominates").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.stats import LatencySample
+from ..networks.base import Packet
+
+
+class TrafficMatrix:
+    """Bytes/packets per (src, dst) site pair."""
+
+    def __init__(self, num_sites: int) -> None:
+        if num_sites < 1:
+            raise ValueError("need at least one site")
+        self.num_sites = num_sites
+        self._bytes: Dict[Tuple[int, int], int] = {}
+        self._packets: Dict[Tuple[int, int], int] = {}
+
+    def record(self, packet: Packet) -> None:
+        key = (packet.src, packet.dst)
+        self._bytes[key] = self._bytes.get(key, 0) + packet.size_bytes
+        self._packets[key] = self._packets.get(key, 0) + 1
+
+    def bytes_between(self, src: int, dst: int) -> int:
+        return self._bytes.get((src, dst), 0)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._bytes.values())
+
+    @property
+    def total_packets(self) -> int:
+        return sum(self._packets.values())
+
+    def intra_site_fraction(self) -> float:
+        """Fraction of bytes that never leave a site (loopback traffic —
+        50% for the butterfly pattern, per section 6.2)."""
+        total = self.total_bytes
+        if total == 0:
+            return 0.0
+        local = sum(b for (s, d), b in self._bytes.items() if s == d)
+        return local / total
+
+    def egress_bytes(self, site: int) -> int:
+        return sum(b for (s, _), b in self._bytes.items() if s == site)
+
+    def ingress_bytes(self, site: int) -> int:
+        return sum(b for (_, d), b in self._bytes.items() if d == site)
+
+    def hotspots(self, top: int = 5) -> List[Tuple[int, int, int]]:
+        """The ``top`` heaviest (src, dst, bytes) pairs."""
+        ranked = sorted(self._bytes.items(), key=lambda kv: -kv[1])
+        return [(s, d, b) for (s, d), b in ranked[:top]]
+
+    def imbalance(self) -> float:
+        """Max/mean egress ratio: 1.0 for perfectly balanced sources."""
+        loads = [self.egress_bytes(s) for s in range(self.num_sites)]
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 1.0
+        return max(loads) / mean
+
+
+@dataclass
+class _ClassStats:
+    packets: int = 0
+    bytes: int = 0
+    latency: LatencySample = field(default_factory=LatencySample)
+
+
+class ClassBreakdown:
+    """Packets, bytes, and latency per message class."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, _ClassStats] = {}
+
+    def record(self, packet: Packet) -> None:
+        cls = self._classes.setdefault(packet.kind, _ClassStats())
+        cls.packets += 1
+        cls.bytes += packet.size_bytes
+        if packet.t_deliver >= 0 and packet.t_inject >= 0:
+            cls.latency.add(packet.t_deliver - packet.t_inject)
+
+    def classes(self) -> List[str]:
+        return sorted(self._classes)
+
+    def packets_of(self, kind: str) -> int:
+        return self._classes[kind].packets if kind in self._classes else 0
+
+    def bytes_of(self, kind: str) -> int:
+        return self._classes[kind].bytes if kind in self._classes else 0
+
+    def mean_latency_ns(self, kind: str) -> float:
+        return self._classes[kind].latency.mean_ns
+
+    def control_fraction(self,
+                         control_kinds: Tuple[str, ...] = ("req", "inv",
+                                                           "ack", "perm",
+                                                           "fwd")) -> float:
+        """Fraction of *packets* that are small control messages — the
+        quantity that makes per-message overhead dominate on arbitrated
+        networks."""
+        total = sum(c.packets for c in self._classes.values())
+        if total == 0:
+            return 0.0
+        control = sum(self._classes[k].packets for k in control_kinds
+                      if k in self._classes)
+        return control / total
+
+    def rows(self) -> List[Tuple[str, int, int, float]]:
+        """(kind, packets, bytes, mean latency ns) for reporting."""
+        out = []
+        for kind in self.classes():
+            c = self._classes[kind]
+            lat = c.latency.mean_ns if len(c.latency) else float("nan")
+            out.append((kind, c.packets, c.bytes, lat))
+        return out
+
+
+class TrafficCollector:
+    """A network sink that feeds both views at once."""
+
+    def __init__(self, num_sites: int) -> None:
+        self.matrix = TrafficMatrix(num_sites)
+        self.by_class = ClassBreakdown()
+
+    def __call__(self, packet: Packet) -> None:
+        self.matrix.record(packet)
+        self.by_class.record(packet)
+
+
+def collect_traffic(trace, network_name: str, config,
+                    network_kwargs: Optional[dict] = None
+                    ) -> TrafficCollector:
+    """Replay a coherence trace with a traffic collector attached and
+    return the filled collector."""
+    from ..workloads.replay import TraceReplayer
+
+    replayer = TraceReplayer(trace, network_name, config, network_kwargs)
+    collector = TrafficCollector(config.num_sites)
+    replayer.network.set_sink(collector)
+    replayer.run()
+    return collector

@@ -1,0 +1,18 @@
+"""Core simulation infrastructure: event engine, units, statistics."""
+
+from .engine import SimulationError, Simulator
+from .stats import EnergyAccount, LatencySample, NetworkStats, ThroughputMeter
+from .sweep import LoadPointResult, SweepPoint, run_load_point, sweep
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "NetworkStats",
+    "LatencySample",
+    "ThroughputMeter",
+    "EnergyAccount",
+    "run_load_point",
+    "sweep",
+    "LoadPointResult",
+    "SweepPoint",
+]

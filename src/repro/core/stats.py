@@ -1,0 +1,208 @@
+"""Statistics collection for network and system simulations.
+
+Provides:
+
+* :class:`LatencySample` — streaming mean/min/max/percentile collector.
+* :class:`ThroughputMeter` — bytes delivered inside a measurement window,
+  with warmup exclusion.
+* :class:`NetworkStats` — the bundle every network run produces: per-packet
+  latency, delivered bytes, energy counters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from .units import to_ns
+
+
+class LatencySample:
+    """Streaming latency statistics (values in picoseconds).
+
+    Keeps every observation (simulations here are small enough) so exact
+    percentiles are available; also maintains running sums so ``mean`` is
+    O(1).
+    """
+
+    __slots__ = ("_values", "_sum", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._values: List[int] = []
+        self._sum = 0
+        self._min: Optional[int] = None
+        self._max: Optional[int] = None
+
+    def add(self, value_ps: int) -> None:
+        """Record one latency observation."""
+        self._values.append(value_ps)
+        self._sum += value_ps
+        if self._min is None or value_ps < self._min:
+            self._min = value_ps
+        if self._max is None or value_ps > self._max:
+            self._max = value_ps
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean_ps(self) -> float:
+        if not self._values:
+            return float("nan")
+        return self._sum / len(self._values)
+
+    @property
+    def mean_ns(self) -> float:
+        return self.mean_ps / 1000.0
+
+    @property
+    def min_ps(self) -> int:
+        if self._min is None:
+            raise ValueError("no samples recorded")
+        return self._min
+
+    @property
+    def max_ps(self) -> int:
+        if self._max is None:
+            raise ValueError("no samples recorded")
+        return self._max
+
+    @property
+    def max_ns(self) -> float:
+        return self.max_ps / 1000.0
+
+    def percentile_ps(self, pct: float) -> int:
+        """Exact percentile (nearest-rank) of recorded latencies."""
+        if not self._values:
+            raise ValueError("no samples recorded")
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError("percentile must be in [0, 100], got %r" % pct)
+        ordered = sorted(self._values)
+        rank = max(1, int(math.ceil(pct / 100.0 * len(ordered))))
+        return ordered[rank - 1]
+
+    def percentile_ns(self, pct: float) -> float:
+        return self.percentile_ps(pct) / 1000.0
+
+
+class ThroughputMeter:
+    """Measures delivered bytes inside ``[warmup_ps, window_end_ps]``.
+
+    ``window_end_ps`` (optional) bounds the measurement window so the
+    post-injection drain of a saturated run does not dilute the sustained
+    rate; deliveries after it are ignored.
+    """
+
+    __slots__ = ("warmup_ps", "window_end_ps", "_bytes", "_first_ps",
+                 "_last_ps", "_packets")
+
+    def __init__(self, warmup_ps: int = 0,
+                 window_end_ps: Optional[int] = None) -> None:
+        self.warmup_ps = warmup_ps
+        self.window_end_ps = window_end_ps
+        self._bytes = 0
+        self._packets = 0
+        self._first_ps: Optional[int] = None
+        self._last_ps: Optional[int] = None
+
+    def record(self, time_ps: int, size_bytes: int) -> None:
+        if time_ps < self.warmup_ps:
+            return
+        if self.window_end_ps is not None and time_ps > self.window_end_ps:
+            return
+        self._bytes += size_bytes
+        self._packets += 1
+        if self._first_ps is None:
+            self._first_ps = time_ps
+        self._last_ps = time_ps
+
+    @property
+    def bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def packets(self) -> int:
+        return self._packets
+
+    def bytes_per_ns(self, end_ps: Optional[int] = None) -> float:
+        """Delivered bandwidth over the measurement interval, in bytes/ns
+        (numerically equal to GB/s)."""
+        if self._first_ps is None:
+            return 0.0
+        last = end_ps if end_ps is not None else self._last_ps
+        assert last is not None
+        span = max(1, last - self.warmup_ps)
+        return self._bytes * 1000.0 / span
+
+
+class EnergyAccount:
+    """Accumulates dynamic energy by category, in picojoules."""
+
+    __slots__ = ("_by_category",)
+
+    def __init__(self) -> None:
+        self._by_category: Dict[str, float] = {}
+
+    def add(self, category: str, picojoules: float) -> None:
+        self._by_category[category] = self._by_category.get(category, 0.0) + picojoules
+
+    def get(self, category: str) -> float:
+        return self._by_category.get(category, 0.0)
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self._by_category.values())
+
+    def categories(self) -> Dict[str, float]:
+        return dict(self._by_category)
+
+
+class NetworkStats:
+    """Everything a single network run records."""
+
+    def __init__(self, warmup_ps: int = 0) -> None:
+        self.latency = LatencySample()
+        self.throughput = ThroughputMeter(warmup_ps)
+        self.energy = EnergyAccount()
+        self.injected_packets = 0
+        self.delivered_packets = 0
+        self.dropped_packets = 0
+
+    def on_inject(self) -> None:
+        self.injected_packets += 1
+
+    def on_deliver(self, now_ps: int, inject_ps: int, size_bytes: int) -> None:
+        self.delivered_packets += 1
+        latency = now_ps - inject_ps
+        if now_ps >= self.throughput.warmup_ps:
+            self.latency.add(latency)
+        self.throughput.record(now_ps, size_bytes)
+
+    def summary(self) -> Dict[str, float]:
+        """A plain-dict summary convenient for tables and tests."""
+        return {
+            "injected": self.injected_packets,
+            "delivered": self.delivered_packets,
+            "mean_latency_ns": self.latency.mean_ns if len(self.latency) else float("nan"),
+            "p99_latency_ns": (
+                self.latency.percentile_ns(99.0) if len(self.latency) else float("nan")
+            ),
+            "throughput_gbps": self.throughput.bytes_per_ns(),
+            "energy_pj": self.energy.total_pj,
+        }
+
+
+def mean(values: List[float]) -> float:
+    """Arithmetic mean; NaN for an empty list (explicit, non-raising)."""
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def format_ns(ps: int) -> str:
+    """Human-readable time: '12.8 ns'."""
+    return "%.1f ns" % to_ns(ps)

@@ -1,0 +1,153 @@
+"""Open-loop load sweeps: the harness behind Figure 6.
+
+Every site injects fixed-size packets (64 B cache lines) with exponential
+inter-arrival times at a configured *offered load*, expressed as a
+fraction of the per-site peak of 320 bytes/ns, exactly the x-axis of
+Figure 6.  Injection runs for a fixed window; the simulation then drains
+(up to a bounded horizon, since a saturated network never finishes) and we
+report mean delivered latency and sustained throughput measured after a
+warmup interval.
+
+Saturation shows up exactly as in the paper: past the knee, throughput
+plateaus and latency grows with the measurement window (the vertical
+asymptote of the latency-load curve).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .engine import Simulator
+from .units import serialization_ps
+from ..macrochip.config import MacrochipConfig
+from ..networks.base import Packet
+from ..networks.factory import build_network
+from ..workloads.synthetic import TrafficPattern
+
+
+@dataclass(frozen=True)
+class LoadPointResult:
+    """One (network, pattern, load) measurement."""
+
+    network: str
+    pattern: str
+    offered_fraction: float
+    mean_latency_ns: float
+    p99_latency_ns: float
+    throughput_gb_per_s: float  # aggregate delivered, measured window
+    delivered_packets: int
+    injected_packets: int
+    saturated: bool
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    offered_fraction: float
+    mean_latency_ns: float
+    p99_latency_ns: float
+    delivered_fraction: float
+    saturated: bool
+
+
+def run_load_point(network_name: str,
+                   config: MacrochipConfig,
+                   pattern: TrafficPattern,
+                   offered_fraction: float,
+                   window_ns: float = 2000.0,
+                   packet_bytes: int = 64,
+                   seed: int = 12345,
+                   drain_factor: float = 1.0,
+                   warmup_fraction: float = 0.25,
+                   network_kwargs: Optional[dict] = None) -> LoadPointResult:
+    """Simulate one point of a latency-vs-load curve.
+
+    ``offered_fraction`` is per-site offered load as a fraction of the
+    320 bytes/ns site peak.  Every site injects Poisson traffic during a
+    fixed ``window_ns`` window; throughput and latency are measured for
+    deliveries inside ``[warmup, window]`` so the post-injection drain of
+    a saturated network cannot dilute the sustained rate.  The run then
+    drains for up to ``drain_factor`` extra windows (a saturated network
+    never finishes, which is the point).
+    """
+    if not 0.0 < offered_fraction:
+        raise ValueError("offered load must be positive")
+    sim = Simulator()
+    site_peak = config.site_bandwidth_gb_per_s  # 320 GB/s = bytes/ns
+    rate_gb_per_s = offered_fraction * site_peak
+    mean_gap_ps = serialization_ps(packet_bytes, rate_gb_per_s)
+    inject_window_ps = int(window_ns * 1000)
+    packets_per_site = max(1, inject_window_ps // mean_gap_ps)
+    warmup_ps = int(inject_window_ps * warmup_fraction)
+
+    net = build_network(network_name, config, sim, warmup_ps=warmup_ps,
+                        **(network_kwargs or {}))
+    net.stats.throughput.window_end_ps = inject_window_ps
+    rng = random.Random(seed)
+    pattern.reseed(seed ^ 0x5EED)
+
+    def injector(site: int, remaining: int) -> None:
+        dst = pattern.destination(site)
+        net.inject(Packet(site, dst, packet_bytes))
+        if remaining > 1:
+            gap = max(1, int(rng.expovariate(1.0 / mean_gap_ps)))
+            sim.schedule(gap, injector, site, remaining - 1)
+
+    for site in range(config.num_sites):
+        first = max(1, int(rng.expovariate(1.0 / mean_gap_ps)))
+        sim.at(first, injector, site, packets_per_site)
+
+    horizon = int(inject_window_ps * (1.0 + drain_factor))
+    sim.run(until_ps=horizon)
+
+    stats = net.stats
+    delivered = stats.delivered_packets
+    injected = stats.injected_packets
+    saturated = delivered < injected * 0.99
+    mean_lat = stats.latency.mean_ns if len(stats.latency) else float("nan")
+    p99 = stats.latency.percentile_ns(99.0) if len(stats.latency) else float("nan")
+    # measure over [warmup, last delivery]: an unsaturated network drains
+    # early, a saturated one delivers right up to the horizon
+    throughput = stats.throughput.bytes_per_ns()
+    return LoadPointResult(
+        network=network_name,
+        pattern=pattern.name,
+        offered_fraction=offered_fraction,
+        mean_latency_ns=mean_lat,
+        p99_latency_ns=p99,
+        throughput_gb_per_s=throughput,
+        delivered_packets=delivered,
+        injected_packets=injected,
+        saturated=saturated,
+    )
+
+
+def sweep(network_name: str,
+          config: MacrochipConfig,
+          pattern: TrafficPattern,
+          fractions: List[float],
+          window_ns: float = 2000.0,
+          **kwargs) -> List[SweepPoint]:
+    """Run a list of load points and normalize throughput to total peak."""
+    total_peak = config.num_sites * config.site_bandwidth_gb_per_s
+    points = []
+    for f in fractions:
+        r = run_load_point(network_name, config, pattern, f,
+                           window_ns=window_ns, **kwargs)
+        points.append(SweepPoint(
+            offered_fraction=f,
+            mean_latency_ns=r.mean_latency_ns,
+            p99_latency_ns=r.p99_latency_ns,
+            delivered_fraction=r.throughput_gb_per_s / total_peak,
+            saturated=r.saturated,
+        ))
+    return points
+
+
+def saturation_fraction(points: List[SweepPoint]) -> float:
+    """The highest delivered fraction observed over a sweep — the paper's
+    'sustained bandwidth, % of peak'."""
+    if not points:
+        raise ValueError("empty sweep")
+    return max(p.delivered_fraction for p in points)

@@ -1,0 +1,25 @@
+"""CPU substrate: caches, MOESI directory, trace-driven multiprocessor
+simulator emitting coherence traffic."""
+
+from .cache import AccessResult, SetAssociativeCache
+from .coherence import CoherenceOp, LineState, MessageStep, OpKind, message_plan
+from .directory import Directory, DirectoryEntry, DirectoryOutcome
+from .system import CpuSimulator, generate_trace
+from .trace import CoherenceTrace, MemoryRef
+
+__all__ = [
+    "SetAssociativeCache",
+    "AccessResult",
+    "Directory",
+    "DirectoryEntry",
+    "DirectoryOutcome",
+    "LineState",
+    "OpKind",
+    "CoherenceOp",
+    "MessageStep",
+    "message_plan",
+    "CpuSimulator",
+    "generate_trace",
+    "CoherenceTrace",
+    "MemoryRef",
+]

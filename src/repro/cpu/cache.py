@@ -1,0 +1,126 @@
+"""Set-associative cache model.
+
+Each macrochip site has one shared L2 (Table 4: 256 KB, shared by the
+site's 8 cores).  The model is functional — it tracks presence, dirtiness,
+and LRU order so the CPU simulator can decide hit/miss and generate
+evictions — while timing is applied by the caller.
+
+Addresses are plain integers; the line index/tag split follows the usual
+``addr -> [tag | set | offset]`` decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    writeback_line: Optional[int] = None  # line address of a dirty victim
+    evicted_line: Optional[int] = None  # line address of any victim
+
+
+class SetAssociativeCache:
+    """A classic set-associative, write-back, write-allocate cache."""
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64,
+                 ways: int = 8) -> None:
+        if not _is_power_of_two(line_bytes):
+            raise ValueError("line size must be a power of two")
+        if size_bytes % (line_bytes * ways):
+            raise ValueError("cache size must be divisible by line*ways")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (line_bytes * ways)
+        if not _is_power_of_two(self.num_sets):
+            raise ValueError("set count must be a power of two")
+        self._set_mask = self.num_sets - 1
+        self._set_bits = self.num_sets.bit_length() - 1
+        self._line_shift = line_bytes.bit_length() - 1
+        # per set: list of [line_addr, dirty] in LRU order (MRU last)
+        self._sets: List[List[List[int]]] = [[] for _ in range(self.num_sets)]
+
+    # -- address helpers ----------------------------------------------------
+
+    def line_address(self, addr: int) -> int:
+        """The line-aligned address containing ``addr``."""
+        return addr >> self._line_shift << self._line_shift
+
+    def set_index(self, addr: int) -> int:
+        """Hashed set index (Fibonacci multiplicative hashing).
+
+        Hashed indexing decorrelates set placement from regular address
+        strides — in particular the home-site page interleave, whose
+        stride is a multiple of the set count and would otherwise alias
+        all same-home data into one page's worth of sets.
+        """
+        line = addr >> self._line_shift
+        h = (line * 0x9E3779B1) & 0xFFFFFFFF
+        return h >> (32 - self._set_bits)
+
+    # -- operations ----------------------------------------------------------
+
+    def contains(self, addr: int) -> bool:
+        line = self.line_address(addr)
+        return any(e[0] == line for e in self._sets[self.set_index(addr)])
+
+    def access(self, addr: int, is_write: bool) -> AccessResult:
+        """Look up (and on miss, allocate) the line holding ``addr``.
+
+        Returns hit/miss plus the victim line if an allocation evicted one
+        (and whether that victim was dirty, i.e. needs a writeback).
+        """
+        line = self.line_address(addr)
+        entries = self._sets[self.set_index(addr)]
+        for i, entry in enumerate(entries):
+            if entry[0] == line:
+                entries.append(entries.pop(i))  # move to MRU
+                if is_write:
+                    entry[1] = 1
+                return AccessResult(hit=True)
+        # miss: allocate, evicting LRU if the set is full
+        writeback = None
+        evicted = None
+        if len(entries) >= self.ways:
+            victim = entries.pop(0)
+            evicted = victim[0]
+            if victim[1]:
+                writeback = victim[0]
+        entries.append([line, 1 if is_write else 0])
+        return AccessResult(hit=False, writeback_line=writeback,
+                            evicted_line=evicted)
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line holding ``addr`` (remote invalidation).  Returns
+        True if the line was present."""
+        line = self.line_address(addr)
+        entries = self._sets[self.set_index(addr)]
+        for i, entry in enumerate(entries):
+            if entry[0] == line:
+                del entries[i]
+                return True
+        return False
+
+    def mark_clean(self, addr: int) -> None:
+        """Clear the dirty bit (after an ownership downgrade)."""
+        line = self.line_address(addr)
+        for entry in self._sets[self.set_index(addr)]:
+            if entry[0] == line:
+                entry[1] = 0
+                return
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def lines(self) -> List[int]:
+        """All resident line addresses (for tests)."""
+        return [e[0] for s in self._sets for e in s]

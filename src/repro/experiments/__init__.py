@@ -1,0 +1,19 @@
+"""Experiment drivers: one module per paper artifact plus extensions.
+
+* ``table_experiments`` — Tables 1, 4, 5, 6
+* ``figure6`` — latency vs offered load sweeps
+* ``evaluation`` / ``figures7_10`` — the closed-loop benchmark campaign
+* ``extensions`` — future-work experiments and design-choice ablations
+* ``run`` — the CLI entry point (``python -m repro.experiments.run``)
+"""
+
+from .evaluation import PRESETS, SuiteResult, run_suite
+from .figure6 import Figure6Result, run_figure6
+
+__all__ = [
+    "run_suite",
+    "SuiteResult",
+    "PRESETS",
+    "run_figure6",
+    "Figure6Result",
+]

@@ -1,0 +1,149 @@
+"""Cached experiment campaigns.
+
+A *campaign* is a directory-backed run of the closed-loop suite:
+coherence traces are CPU-simulated once and cached on disk
+(:mod:`repro.cpu.trace_io`), replay results are written as JSON, and
+re-running the campaign only simulates what is missing.  This makes the
+expensive full-preset runs resumable and lets ablations re-replay cached
+traces with different network parameters at near-zero cost.
+
+Layout of a campaign directory::
+
+    campaign/
+      traces/<workload>.json        cached coherence traces
+      results/<workload>__<network>.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .evaluation import PRESETS, Preset, build_traces
+from ..cpu.trace import CoherenceTrace
+from ..cpu.trace_io import dump_trace, load_trace
+from ..macrochip.config import MacrochipConfig, scaled_config
+from ..networks.factory import FIGURE7_NETWORKS
+from ..workloads.replay import replay
+
+
+@dataclass(frozen=True)
+class CampaignEntry:
+    """One cached (workload, network) result."""
+
+    workload: str
+    network: str
+    runtime_ps: int
+    mean_op_latency_ns: float
+    ops_completed: int
+    messages_sent: int
+    energy_by_category: Dict[str, float]
+
+
+class Campaign:
+    """A resumable, disk-backed benchmark campaign."""
+
+    def __init__(self, directory: str,
+                 preset_name: str = "quick",
+                 config: MacrochipConfig = None) -> None:
+        self.directory = directory
+        self.preset = PRESETS[preset_name]
+        self.config = config or scaled_config()
+        self.traces_dir = os.path.join(directory, "traces")
+        self.results_dir = os.path.join(directory, "results")
+        os.makedirs(self.traces_dir, exist_ok=True)
+        os.makedirs(self.results_dir, exist_ok=True)
+
+    # -- traces --------------------------------------------------------------
+
+    def _trace_path(self, workload: str) -> str:
+        return os.path.join(self.traces_dir, "%s.json" % workload)
+
+    def ensure_traces(self,
+                      progress: Optional[Callable[[str], None]] = None
+                      ) -> Dict[str, CoherenceTrace]:
+        """Load cached traces; CPU-simulate and cache any that are
+        missing."""
+        cached: Dict[str, CoherenceTrace] = {}
+        missing = False
+        from .evaluation import WORKLOAD_ORDER
+
+        for workload in WORKLOAD_ORDER:
+            path = self._trace_path(workload)
+            if os.path.exists(path):
+                cached[workload] = load_trace(path)
+            else:
+                missing = True
+        if missing:
+            fresh = build_traces(self.preset, self.config, progress)
+            for workload, trace in fresh.items():
+                if workload not in cached:
+                    dump_trace(trace, self._trace_path(workload))
+                    cached[workload] = trace
+        return cached
+
+    # -- results -------------------------------------------------------------
+
+    def _result_path(self, workload: str, network: str) -> str:
+        return os.path.join(self.results_dir,
+                            "%s__%s.json" % (workload, network))
+
+    def _load_entry(self, path: str) -> CampaignEntry:
+        with open(path) as fh:
+            doc = json.load(fh)
+        return CampaignEntry(**doc)
+
+    def run(self,
+            networks: Optional[List[str]] = None,
+            workloads: Optional[List[str]] = None,
+            progress: Optional[Callable[[str], None]] = None
+            ) -> Dict[str, Dict[str, CampaignEntry]]:
+        """Replay every missing (workload, network) pair; return the
+        complete grid (cached + fresh)."""
+        nets = networks or list(FIGURE7_NETWORKS)
+        traces = self.ensure_traces(progress)
+        grid: Dict[str, Dict[str, CampaignEntry]] = {}
+        for workload, trace in traces.items():
+            if workloads is not None and workload not in workloads:
+                continue
+            grid[workload] = {}
+            for net in nets:
+                path = self._result_path(workload, net)
+                if os.path.exists(path):
+                    grid[workload][net] = self._load_entry(path)
+                    continue
+                if progress:
+                    progress("replay %s on %s" % (workload, net))
+                result = replay(trace, net, self.config)
+                entry = CampaignEntry(
+                    workload=workload,
+                    network=net,
+                    runtime_ps=result.runtime_ps,
+                    mean_op_latency_ns=result.mean_op_latency_ns,
+                    ops_completed=result.ops_completed,
+                    messages_sent=result.messages_sent,
+                    energy_by_category=result.energy_by_category,
+                )
+                with open(path, "w") as fh:
+                    json.dump(entry.__dict__, fh)
+                grid[workload][net] = entry
+        return grid
+
+    def completed_pairs(self) -> int:
+        return len([f for f in os.listdir(self.results_dir)
+                    if f.endswith(".json")])
+
+    def speedup_table(self, grid: Dict[str, Dict[str, CampaignEntry]],
+                      baseline: str = "circuit_switched"
+                      ) -> Dict[str, Dict[str, float]]:
+        """Figure 7 speedups straight from a campaign grid."""
+        out: Dict[str, Dict[str, float]] = {}
+        for workload, by_net in grid.items():
+            if baseline not in by_net:
+                continue
+            base = by_net[baseline].runtime_ps
+            out[workload] = {net: base / e.runtime_ps
+                             for net, e in by_net.items()}
+        return out

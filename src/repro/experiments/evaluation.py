@@ -1,0 +1,131 @@
+"""The shared benchmark suite behind Figures 7, 8, 9, and 10.
+
+One call to :func:`run_suite` replays all eleven workloads (six
+application kernels + five synthetic coherence benchmarks) on all six
+network configurations and returns the full result grid; the per-figure
+drivers then derive speedups, latencies, router-energy fractions, and
+EDPs from it without re-simulating.
+
+Presets trade fidelity for time:
+
+* ``full``  — the sizes used for EXPERIMENTS.md (minutes of CPU time);
+* ``quick`` — reduced reference counts for interactive runs;
+* ``smoke`` — tiny sizes for CI/benchmark harnesses (seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..cpu.system import generate_trace
+from ..cpu.trace import CoherenceTrace
+from ..macrochip.config import MacrochipConfig, scaled_config
+from ..networks.factory import FIGURE7_NETWORKS
+from ..workloads.kernels import FIGURE7_KERNELS
+from ..workloads.replay import ReplayResult, replay
+from ..workloads.sharing import mix_by_name
+from ..workloads.synthetic import make_pattern
+from ..workloads.synthetic_coherence import (
+    FIGURE7_SYNTHETIC,
+    SyntheticCoherenceSpec,
+    generate_synthetic_trace,
+)
+
+
+@dataclass(frozen=True)
+class Preset:
+    """Workload sizing for one fidelity level."""
+
+    name: str
+    kernel_refs_per_core: int
+    synthetic_ops_per_core: int
+
+
+PRESETS: Dict[str, Preset] = {
+    "full": Preset("full", kernel_refs_per_core=1000,
+                   synthetic_ops_per_core=100),
+    "quick": Preset("quick", kernel_refs_per_core=500,
+                    synthetic_ops_per_core=40),
+    "smoke": Preset("smoke", kernel_refs_per_core=120,
+                    synthetic_ops_per_core=10),
+}
+
+#: workload display order of Figures 7/8/10 (six apps, five synthetics)
+WORKLOAD_ORDER: List[str] = (
+    [k.name for k in FIGURE7_KERNELS]
+    + [name for name, _, _ in FIGURE7_SYNTHETIC]
+)
+
+
+@dataclass
+class SuiteResult:
+    """Replay results for every (workload, network) pair."""
+
+    preset: str
+    config: MacrochipConfig
+    #: results[workload_name][network_key]
+    results: Dict[str, Dict[str, ReplayResult]] = field(default_factory=dict)
+    traces: Dict[str, CoherenceTrace] = field(default_factory=dict)
+
+    def workloads(self) -> List[str]:
+        return [w for w in WORKLOAD_ORDER if w in self.results]
+
+    def networks(self) -> List[str]:
+        """Network keys actually present, in the canonical figure order."""
+        present = set()
+        for by_net in self.results.values():
+            present.update(by_net)
+        return [n for n in FIGURE7_NETWORKS if n in present]
+
+
+def build_traces(preset: Preset,
+                 config: MacrochipConfig,
+                 progress: Optional[Callable[[str], None]] = None
+                 ) -> Dict[str, CoherenceTrace]:
+    """Generate every workload's coherence trace (CPU simulation runs
+    once per workload; replays reuse the trace)."""
+    traces: Dict[str, CoherenceTrace] = {}
+    for kernel_cls in FIGURE7_KERNELS:
+        kernel = kernel_cls(refs_per_core=preset.kernel_refs_per_core)
+        if progress:
+            progress("cpu-sim %s" % kernel.name)
+        traces[kernel.name] = generate_trace(kernel, config)
+    for name, pattern_key, mix_name in FIGURE7_SYNTHETIC:
+        if progress:
+            progress("synthesize %s" % name)
+        spec = SyntheticCoherenceSpec(
+            name, ops_per_core=preset.synthetic_ops_per_core)
+        pattern = make_pattern(pattern_key, config.layout)
+        trace = generate_synthetic_trace(spec, pattern,
+                                         mix_by_name(mix_name), config)
+        trace.workload = name
+        traces[name] = trace
+    return traces
+
+
+def run_suite(preset_name: str = "quick",
+              config: MacrochipConfig = None,
+              networks: Optional[List[str]] = None,
+              workloads: Optional[List[str]] = None,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> SuiteResult:
+    """Run the full (or filtered) benchmark suite."""
+    try:
+        preset = PRESETS[preset_name]
+    except KeyError:
+        raise KeyError("unknown preset %r; choose from %s"
+                       % (preset_name, ", ".join(PRESETS))) from None
+    cfg = config or scaled_config()
+    nets = networks or list(FIGURE7_NETWORKS)
+    traces = build_traces(preset, cfg, progress)
+    suite = SuiteResult(preset=preset.name, config=cfg, traces=traces)
+    for workload, trace in traces.items():
+        if workloads is not None and workload not in workloads:
+            continue
+        suite.results[workload] = {}
+        for net in nets:
+            if progress:
+                progress("replay %s on %s" % (workload, net))
+            suite.results[workload][net] = replay(trace, net, cfg)
+    return suite

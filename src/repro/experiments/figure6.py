@@ -1,0 +1,126 @@
+"""Figure 6: latency vs. offered load for four message patterns.
+
+Sweeps all five network architectures over each pattern's load range with
+64-byte packets (one cache line), reporting mean packet latency per load
+point and the sustained-bandwidth knee — the paper's 'maximum sustainable
+bandwidth' read off the vertical asymptote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.tables import render_series, render_table
+from ..core.sweep import SweepPoint, sweep
+from ..macrochip.config import MacrochipConfig, scaled_config
+from ..networks.factory import FIGURE6_NETWORKS, NETWORK_CLASSES
+from ..workloads.synthetic import make_pattern
+
+
+#: offered-load grids per pattern, matching the paper's x-axis ranges
+LOAD_GRIDS: Dict[str, List[float]] = {
+    "uniform": [0.01, 0.025, 0.05, 0.075, 0.10, 0.15, 0.25,
+                0.40, 0.50, 0.70, 0.90, 0.95],
+    "transpose": [0.002, 0.005, 0.01, 0.012, 0.015, 0.02, 0.03,
+                  0.04, 0.05, 0.06],
+    "neighbor": [0.01, 0.02, 0.04, 0.06, 0.08, 0.12, 0.16, 0.20, 0.25],
+    "butterfly": [0.002, 0.005, 0.01, 0.012, 0.015, 0.02, 0.03,
+                  0.04, 0.05, 0.06],
+}
+
+#: the four panels in the paper's layout order
+PANEL_ORDER = ["uniform", "transpose", "neighbor", "butterfly"]
+
+
+@dataclass
+class Figure6Result:
+    """Sweep curves for every (pattern, network) pair."""
+
+    window_ns: float
+    #: curves[pattern][network] -> list of SweepPoint
+    curves: Dict[str, Dict[str, List[SweepPoint]]] = field(
+        default_factory=dict)
+
+    def saturation_table(self) -> List[Tuple[str, str, float]]:
+        """(pattern, network, knee fraction-of-peak) rows.
+
+        The knee is the highest delivered fraction among *unsaturated*
+        load points (delivered tracks injected), falling back to the
+        best delivered fraction if every point saturated.
+        """
+        rows = []
+        for pattern, by_net in self.curves.items():
+            for net, points in by_net.items():
+                good = [p.delivered_fraction for p in points
+                        if not p.saturated]
+                best = max(good) if good else max(
+                    p.delivered_fraction for p in points)
+                rows.append((pattern, net, best))
+        return rows
+
+
+def run_figure6(config: MacrochipConfig = None,
+                window_ns: float = 1200.0,
+                patterns: Optional[List[str]] = None,
+                networks: Optional[List[str]] = None,
+                load_grids: Optional[Dict[str, List[float]]] = None,
+                progress=None) -> Figure6Result:
+    """Run the Figure 6 sweeps.
+
+    ``window_ns`` controls fidelity (injection window per load point);
+    patterns/networks/load grids can be filtered for quick runs.
+    """
+    cfg = config or scaled_config()
+    result = Figure6Result(window_ns=window_ns)
+    pats = patterns or PANEL_ORDER
+    nets = networks or list(FIGURE6_NETWORKS)
+    grids = load_grids or LOAD_GRIDS
+    for pattern_key in pats:
+        result.curves[pattern_key] = {}
+        for net in nets:
+            if progress:
+                progress("figure6 %s / %s" % (pattern_key, net))
+            pattern = make_pattern(pattern_key, cfg.layout)
+            points = sweep(net, cfg, pattern, grids[pattern_key],
+                           window_ns=window_ns)
+            result.curves[pattern_key][net] = points
+    return result
+
+
+def figure6_text(result: Figure6Result) -> str:
+    """Render the four panels (table + ASCII plot) plus the saturation
+    summary."""
+    from ..analysis.plot import plot_figure6_panel
+
+    blocks = []
+    for pattern_key in PANEL_ORDER:
+        if pattern_key not in result.curves:
+            continue
+        series = {}
+        for net, points in result.curves[pattern_key].items():
+            label = NETWORK_CLASSES[net].name
+            series[label] = [(p.offered_fraction * 100, p.mean_latency_ns)
+                             for p in points]
+        blocks.append(render_series(
+            "Figure 6 [%s]" % pattern_key,
+            "load(%)", "mean packet latency (ns)", series))
+        try:
+            blocks.append(plot_figure6_panel(result, pattern_key))
+        except ValueError:  # pragma: no cover - nothing plottable
+            pass
+    sat_rows = [(p, NETWORK_CLASSES[n].name, "%.1f%%" % (f * 100))
+                for p, n, f in result.saturation_table()]
+    blocks.append(render_table(
+        ["Pattern", "Network", "Sustained (% of peak)"], sat_rows,
+        title="Figure 6 summary: sustained bandwidth at the knee"))
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    quick = "--quick" in sys.argv
+    res = run_figure6(window_ns=400.0 if quick else 1200.0,
+                      progress=lambda m: print("..", m, file=sys.stderr))
+    print(figure6_text(res))

@@ -1,0 +1,55 @@
+"""The un-scaled 2015 macrochip platform (paper section 3).
+
+The paper simulates a 1/8-scale system (Table 4) but *architects* the
+full 2015 platform: 64 cores/site, 1024 transmitters/receivers per site,
+2.56 TB/s per direction per site, 160 TB/s aggregate, 1024 laser
+modules, 4 kW of compute.  This driver reproduces those numbers and the
+scaling relationship between the two configurations, plus the full-scale
+link budget check (16-wavelength WDM still closes the 21 dB budget).
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import render_table
+from ..macrochip.config import full_2015_config, scaled_config
+from ..macrochip.provisioning import provision, section3_report
+from ..photonics.loss import budget_for, unswitched_link
+
+
+def scaling_comparison() -> str:
+    """Scaled (Table 4) vs full 2015 platform, side by side."""
+    scaled = scaled_config()
+    full = full_2015_config()
+    rows = [
+        ("Cores per site", scaled.cores_per_site, full.cores_per_site),
+        ("Tx/Rx per site", scaled.transmitters_per_site,
+         full.transmitters_per_site),
+        ("Wavelengths per waveguide", scaled.wavelengths_per_waveguide,
+         full.wavelengths_per_waveguide),
+        ("Per-site bandwidth (GB/s)",
+         "%.0f" % scaled.site_bandwidth_gb_per_s,
+         "%.0f" % full.site_bandwidth_gb_per_s),
+        ("Aggregate bandwidth (TB/s)",
+         "%.1f" % scaled.total_bandwidth_tb_per_s,
+         "%.1f" % full.total_bandwidth_tb_per_s),
+        ("Laser modules", provision(scaled).laser_modules,
+         provision(full).laser_modules),
+    ]
+    return render_table(
+        ["Parameter", "Simulated (Table 4)", "2015 target (section 3)"],
+        rows, title="Scaled vs full macrochip configurations")
+
+
+def full_scale_report() -> str:
+    """Everything section 3 claims about the 2015 platform."""
+    blocks = [section3_report(), "", scaling_comparison(), ""]
+    budget = budget_for(unswitched_link(full_2015_config().tech))
+    blocks.append(
+        "Full-scale link budget: %.1f dB loss, %.1f dB margin (%s)"
+        % (budget.loss_db, budget.margin_db,
+           "closes" if budget.closes else "DOES NOT CLOSE"))
+    return "\n".join(blocks)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(full_scale_report())

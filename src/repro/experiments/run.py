@@ -1,0 +1,84 @@
+"""Experiment runner CLI: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.experiments.run --artifact all --preset quick
+    python -m repro.experiments.run --artifact figure6 --out results/
+
+Artifacts: ``tables`` (1, 4, 5, 6), ``figure6``, ``figures`` (7-10), or
+``all``.  Output goes to stdout and, with ``--out DIR``, to one text file
+per artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict
+
+from .evaluation import run_suite
+from .figure6 import figure6_text, run_figure6
+from .figures7_10 import all_figures_text
+from .table_experiments import all_tables_text
+
+
+def _progress(message: str) -> None:
+    print(".. %s" % message, file=sys.stderr)
+
+
+def generate(artifact: str, preset: str,
+              window_ns: float) -> Dict[str, str]:
+    """Produce {artifact_name: text} for the requested artifact set."""
+    outputs: Dict[str, str] = {}
+    if artifact in ("tables", "all"):
+        outputs["tables"] = all_tables_text()
+    if artifact in ("figure6", "all"):
+        result = run_figure6(window_ns=window_ns, progress=_progress)
+        outputs["figure6"] = figure6_text(result)
+    if artifact in ("figures", "all"):
+        suite = run_suite(preset, progress=_progress)
+        outputs["figures7_10"] = all_figures_text(suite)
+    if not outputs:
+        raise SystemExit("unknown artifact %r (tables|figure6|figures|all)"
+                         % artifact)
+    return outputs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("--artifact", default="all",
+                        choices=["tables", "figure6", "figures", "all"])
+    parser.add_argument("--preset", default="quick",
+                        choices=["smoke", "quick", "full"],
+                        help="workload sizing for figures 7-10")
+    parser.add_argument("--window-ns", type=float, default=None,
+                        help="injection window for figure 6 load points")
+    parser.add_argument("--out", default=None,
+                        help="directory to write one .txt per artifact")
+    args = parser.parse_args(argv)
+
+    window = args.window_ns
+    if window is None:
+        window = {"smoke": 200.0, "quick": 500.0, "full": 1200.0}[args.preset]
+
+    started = time.time()
+    outputs = generate(args.artifact, args.preset, window)
+    for name, text in outputs.items():
+        print()
+        print("=" * 72)
+        print(text)
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, "%s.txt" % name)
+            with open(path, "w") as fh:
+                fh.write(text + "\n")
+            print(".. wrote %s" % path, file=sys.stderr)
+    print(".. done in %.1fs" % (time.time() - started), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

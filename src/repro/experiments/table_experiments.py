@@ -1,0 +1,60 @@
+"""Regeneration of the paper's Tables 1, 4, 5, and 6."""
+
+from __future__ import annotations
+
+from ..analysis.power import table5_rows
+from ..analysis.tables import format_count, render_table
+from ..macrochip.config import MacrochipConfig, scaled_config, table4_rows
+from ..networks.complexity import table6_rows
+from ..photonics.technology import DEFAULT_TECHNOLOGY, table1_rows
+
+
+def table1_text() -> str:
+    """Table 1: optical component properties."""
+    rows = table1_rows(DEFAULT_TECHNOLOGY)
+    return render_table(["Component", "Energy", "Signal Loss"], rows,
+                        title="Table 1: Optical Component Properties")
+
+
+def table4_text(config: MacrochipConfig = None) -> str:
+    """Table 4: simulated macrochip configuration."""
+    rows = table4_rows(config or scaled_config())
+    return render_table(["Parameter", "Value"], rows,
+                        title="Table 4: Simulated Macrochip Configuration")
+
+
+def table5_text(config: MacrochipConfig = None) -> str:
+    """Table 5: per-network power loss factor and laser power, derived
+    from the topology component counts and worst-case loss paths."""
+    rows = []
+    for r in table5_rows(config):
+        rows.append((r.network, "%.1fx" % r.loss_factor,
+                     "%.1f" % r.laser_power_w))
+    return render_table(
+        ["Network Type", "Power Loss Factor", "Laser Power (W)"], rows,
+        title="Table 5: Network Optical Power")
+
+
+def table6_text(config: MacrochipConfig = None) -> str:
+    """Table 6: total optical component counts per network."""
+    rows = []
+    for c in table6_rows(config):
+        rows.append((c.network, format_count(c.transmitters),
+                     format_count(c.receivers), format_count(c.waveguides),
+                     format_count(c.switches) if c.switches else "0"))
+    return render_table(["Network Type", "Tx", "Rx", "Wgs", "Switches"],
+                        rows,
+                        title="Table 6: Total Optical Component Counts")
+
+
+def all_tables_text(config: MacrochipConfig = None) -> str:
+    return "\n\n".join([
+        table1_text(),
+        table4_text(config),
+        table5_text(config),
+        table6_text(config),
+    ])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(all_tables_text())

@@ -1,0 +1,15 @@
+"""Macrochip platform configuration."""
+
+from .config import (
+    MacrochipConfig,
+    full_2015_config,
+    scaled_config,
+    small_test_config,
+)
+
+__all__ = [
+    "MacrochipConfig",
+    "scaled_config",
+    "full_2015_config",
+    "small_test_config",
+]

@@ -1,0 +1,87 @@
+"""Configuration serialization.
+
+Experiments are parameterized by :class:`MacrochipConfig`; this module
+converts configurations to and from plain dictionaries (and JSON files)
+so campaigns can record exactly what they ran and ablation scripts can
+be driven from config files instead of code edits.
+
+Only fields that differ from the defaults are emitted, which keeps the
+documents readable and forward-compatible: loading a document applies it
+as overrides on top of the current defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, IO, Union
+
+from .config import MacrochipConfig
+from ..photonics.layout import MacrochipLayout
+from ..photonics.technology import Technology
+
+
+def config_to_dict(config: MacrochipConfig,
+                   full: bool = False) -> Dict[str, Any]:
+    """Flatten a configuration to a plain dict.
+
+    With ``full=False`` (default) only non-default values appear, under
+    three sections: top-level scalars, ``layout``, and ``technology``.
+    """
+    default = MacrochipConfig()
+    doc: Dict[str, Any] = {}
+    for field in dataclasses.fields(MacrochipConfig):
+        if field.name in ("layout", "tech"):
+            continue
+        value = getattr(config, field.name)
+        if full or value != getattr(default, field.name):
+            doc[field.name] = value
+    layout_doc: Dict[str, Any] = {}
+    for field in dataclasses.fields(MacrochipLayout):
+        value = getattr(config.layout, field.name)
+        if full or value != getattr(default.layout, field.name):
+            layout_doc[field.name] = value
+    if layout_doc:
+        doc["layout"] = layout_doc
+    tech_doc: Dict[str, Any] = {}
+    for field in dataclasses.fields(Technology):
+        value = getattr(config.tech, field.name)
+        if full or value != getattr(default.tech, field.name):
+            tech_doc[field.name] = value
+    if tech_doc:
+        doc["technology"] = tech_doc
+    return doc
+
+
+def config_from_dict(doc: Dict[str, Any]) -> MacrochipConfig:
+    """Build a configuration from a dict of overrides."""
+    doc = dict(doc)
+    layout_doc = doc.pop("layout", {})
+    tech_doc = doc.pop("technology", {})
+    known = {f.name for f in dataclasses.fields(MacrochipConfig)}
+    unknown = set(doc) - known
+    if unknown:
+        raise ValueError("unknown configuration keys: %s"
+                         % ", ".join(sorted(unknown)))
+    layout = MacrochipLayout(**layout_doc)
+    tech = Technology(**tech_doc)
+    return MacrochipConfig(layout=layout, tech=tech, **doc)
+
+
+def save_config(config: MacrochipConfig, fp: Union[str, IO[str]],
+                full: bool = False) -> None:
+    doc = config_to_dict(config, full=full)
+    if isinstance(fp, str):
+        with open(fp, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+    else:
+        json.dump(doc, fp, indent=2, sort_keys=True)
+
+
+def load_config(fp: Union[str, IO[str]]) -> MacrochipConfig:
+    if isinstance(fp, str):
+        with open(fp) as fh:
+            doc = json.load(fh)
+    else:
+        doc = json.load(fp)
+    return config_from_dict(doc)

@@ -1,0 +1,100 @@
+"""Macrochip platform provisioning (paper section 3).
+
+Computes the laser, fiber, power, and cooling budget of a macrochip
+platform from its configuration — the arithmetic behind section 3's
+claims for the 2015 target system:
+
+* 1024 transmitters/receivers per site at 20 Gb/s -> 2.56 TB/s per
+  direction per site, 160 TB/s aggregate;
+* 8-wavelength lasers, each wavelength power-split 8 ways -> 1024 laser
+  modules feed the full interconnect;
+* a macrochip supports ~2000 edge fiber connections, leaving headroom
+  for off-macrochip memory and I/O;
+* 64 sites at ~64 W -> ~4 kW, cooled by direct-bonded copper cold
+  plates (~3 kW per 25 cm^2 commercially available).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import MacrochipConfig, full_2015_config
+
+
+@dataclass(frozen=True)
+class PlatformBudget:
+    """Provisioning summary for one macrochip configuration."""
+
+    sites: int
+    transmitters_per_site: int
+    site_bandwidth_tb_per_s: float
+    aggregate_bandwidth_tb_per_s: float
+    laser_modules: int
+    edge_fibers_used: int
+    edge_fiber_capacity: int
+    compute_power_kw: float
+    cold_plate_capacity_kw: float
+
+    @property
+    def fibers_available_for_memory_io(self) -> int:
+        return max(0, self.edge_fiber_capacity - self.edge_fibers_used)
+
+    @property
+    def cooling_feasible(self) -> bool:
+        return self.compute_power_kw <= self.cold_plate_capacity_kw
+
+
+def provision(config: MacrochipConfig = None,
+              wavelengths_per_laser: int = 8,
+              power_sharing_ways: int = 8,
+              edge_fiber_capacity: int = 2000,
+              watts_per_core: float = 1.0,
+              cold_plate_kw_per_site: float = 0.48) -> PlatformBudget:
+    """Compute the platform budget.
+
+    Defaults follow section 3: 8-wavelength laser modules split 8 ways
+    (64 channels per module), 2000 edge fibers, 1 W per core, and cold
+    plates scaled from the commercial 3 kW / 25 cm^2 reference
+    (0.12 kW/cm^2 over a ~4 cm^2 site footprint).
+    """
+    cfg = config or full_2015_config()
+    if wavelengths_per_laser < 1 or power_sharing_ways < 1:
+        raise ValueError("laser sharing parameters must be positive")
+    channels = cfg.num_sites * cfg.transmitters_per_site
+    channels_per_laser = wavelengths_per_laser * power_sharing_ways
+    laser_modules = -(-channels // channels_per_laser)
+    # each laser module arrives over one edge fiber
+    fibers = laser_modules
+    site_bw_tb = cfg.site_bandwidth_gb_per_s / 1000.0
+    return PlatformBudget(
+        sites=cfg.num_sites,
+        transmitters_per_site=cfg.transmitters_per_site,
+        site_bandwidth_tb_per_s=site_bw_tb,
+        aggregate_bandwidth_tb_per_s=cfg.total_bandwidth_tb_per_s,
+        laser_modules=laser_modules,
+        edge_fibers_used=fibers,
+        edge_fiber_capacity=edge_fiber_capacity,
+        compute_power_kw=cfg.num_cores * watts_per_core / 1000.0,
+        cold_plate_capacity_kw=cfg.num_sites * cold_plate_kw_per_site,
+    )
+
+
+def section3_report() -> str:
+    """Render the section 3 platform numbers for the 2015 macrochip."""
+    b = provision()
+    lines = [
+        "Macrochip 2015 platform budget (paper section 3)",
+        "  sites:                 %d" % b.sites,
+        "  per-site bandwidth:    %.2f TB/s each way"
+        % b.site_bandwidth_tb_per_s,
+        "  aggregate bandwidth:   %.1f TB/s" % b.aggregate_bandwidth_tb_per_s,
+        "  laser modules:         %d (8 wavelengths x 8-way sharing)"
+        % b.laser_modules,
+        "  edge fibers:           %d of %d (%d free for memory/I/O)"
+        % (b.edge_fibers_used, b.edge_fiber_capacity,
+           b.fibers_available_for_memory_io),
+        "  compute power:         %.1f kW (%s)"
+        % (b.compute_power_kw,
+           "coolable" if b.cooling_feasible else "OVER BUDGET"),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""The five macrochip inter-site photonic network architectures."""
+
+from .base import Channel, InterSiteNetwork, Packet
+from .circuit_switched import CircuitSwitchedTorus
+from .factory import (
+    FIGURE6_NETWORKS,
+    FIGURE7_NETWORKS,
+    available_networks,
+    build_network,
+)
+from .limited_point_to_point import LimitedPointToPointNetwork
+from .point_to_point import PointToPointNetwork
+from .token_ring import TokenRingCrossbar
+from .two_phase import TwoPhaseAltNetwork, TwoPhaseArbitratedNetwork
+
+__all__ = [
+    "Packet",
+    "Channel",
+    "InterSiteNetwork",
+    "PointToPointNetwork",
+    "LimitedPointToPointNetwork",
+    "TwoPhaseArbitratedNetwork",
+    "TwoPhaseAltNetwork",
+    "TokenRingCrossbar",
+    "CircuitSwitchedTorus",
+    "build_network",
+    "available_networks",
+    "FIGURE6_NETWORKS",
+    "FIGURE7_NETWORKS",
+]

@@ -1,0 +1,173 @@
+"""Common machinery for the five macrochip inter-site networks.
+
+Every network model in this package follows the same contract:
+
+* construct with a :class:`~repro.macrochip.config.MacrochipConfig` and a
+  :class:`~repro.core.engine.Simulator`;
+* ``inject(packet)`` hands the network a packet at the current simulation
+  time; the network delivers it later by invoking the registered sink;
+* ``stats`` accumulates latency/throughput/energy.
+
+Channels are modeled as serialized servers: a channel with bandwidth ``B``
+and propagation delay ``D`` transmits packets back-to-back (transmission
+time = size/B) and delivers each at ``start + size/B + D``.  This is exact
+for the paper's networks, none of which uses wormhole flow control.
+
+Intra-site traffic (src == dst) bypasses the optical network over a
+single-cycle electrical loopback, as the paper models it (section 6.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from ..core.engine import Simulator
+from ..core.stats import NetworkStats
+from ..core.units import serialization_ps
+from ..macrochip.config import MacrochipConfig
+from ..photonics.power import transmit_energy_pj
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """One network message.
+
+    ``kind`` distinguishes coherence message classes ('req', 'data', 'inv',
+    'ack', ...) for statistics; ``on_delivered`` is an optional callback the
+    coherence replay layer uses to chain protocol steps.
+    """
+
+    __slots__ = ("pid", "src", "dst", "size_bytes", "t_inject", "t_deliver",
+                 "kind", "on_delivered", "hops")
+
+    def __init__(self, src: int, dst: int, size_bytes: int,
+                 kind: str = "data",
+                 on_delivered: Optional[Callable[["Packet"], None]] = None):
+        self.pid = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.kind = kind
+        self.on_delivered = on_delivered
+        self.t_inject = -1
+        self.t_deliver = -1
+        self.hops = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return ("Packet(#%d %d->%d %dB %s)"
+                % (self.pid, self.src, self.dst, self.size_bytes, self.kind))
+
+
+class Channel:
+    """A serialized optical (or electrical) channel.
+
+    ``send`` enqueues a packet for transmission; the completion callback
+    fires when the last bit arrives at the far end.  ``next_free`` exposes
+    the earliest time a new transmission could start (used by adaptive
+    routing in the limited point-to-point network).
+    """
+
+    __slots__ = ("sim", "bandwidth_gb_per_s", "propagation_ps", "next_free",
+                 "busy_ps", "name")
+
+    def __init__(self, sim: Simulator, bandwidth_gb_per_s: float,
+                 propagation_ps: int, name: str = "") -> None:
+        if bandwidth_gb_per_s <= 0:
+            raise ValueError("channel bandwidth must be positive")
+        if propagation_ps < 0:
+            raise ValueError("propagation delay must be non-negative")
+        self.sim = sim
+        self.bandwidth_gb_per_s = bandwidth_gb_per_s
+        self.propagation_ps = propagation_ps
+        self.next_free = 0
+        self.busy_ps = 0
+        self.name = name
+
+    def serialization_ps(self, size_bytes: int) -> int:
+        return serialization_ps(size_bytes, self.bandwidth_gb_per_s)
+
+    def queue_delay_ps(self) -> int:
+        """How long a packet injected now would wait before transmitting."""
+        return max(0, self.next_free - self.sim.now)
+
+    def send(self, packet: Packet,
+             on_arrival: Callable[[Packet], None]) -> int:
+        """Transmit ``packet``; returns the arrival time at the far end."""
+        start = max(self.sim.now, self.next_free)
+        tx = self.serialization_ps(packet.size_bytes)
+        self.next_free = start + tx
+        self.busy_ps += tx
+        arrival = start + tx + self.propagation_ps
+        self.sim.at(arrival, on_arrival, packet)
+        return arrival
+
+    def reserve(self, start_ps: int, duration_ps: int) -> None:
+        """Mark the channel busy for an externally scheduled slot (used by
+        the slotted two-phase network)."""
+        self.next_free = max(self.next_free, start_ps + duration_ps)
+        self.busy_ps += duration_ps
+
+
+class InterSiteNetwork:
+    """Abstract base for the five network architectures."""
+
+    #: Human-readable name used in tables ('Point-to-Point', ...).
+    name = "abstract"
+    #: Section 4.1 taxonomy: "none" (no switching or routing),
+    #: "circuit" (circuit switched), "arbitrated" (arbitration-based
+    #: switching), or "electronic" (optical with electronic routing).
+    switching_class = "abstract"
+
+    def __init__(self, config: MacrochipConfig, sim: Simulator,
+                 warmup_ps: int = 0) -> None:
+        self.config = config
+        self.sim = sim
+        self.stats = NetworkStats(warmup_ps)
+        self._sink: Optional[Callable[[Packet], None]] = None
+
+    # -- public interface -------------------------------------------------
+
+    def set_sink(self, sink: Callable[[Packet], None]) -> None:
+        """Register the callback invoked for every delivered packet."""
+        self._sink = sink
+
+    def inject(self, packet: Packet) -> None:
+        """Accept a packet for delivery.  Subclasses route it."""
+        packet.t_inject = self.sim.now
+        self.stats.on_inject()
+        if packet.src == packet.dst:
+            self.sim.schedule(self.config.loopback_latency_ps,
+                              self._deliver, packet)
+            return
+        self._route(packet)
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _route(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _deliver(self, packet: Packet) -> None:
+        """Record stats and hand the packet to the sink.  Subclasses call
+        this (directly or via Channel callbacks) at arrival time."""
+        packet.t_deliver = self.sim.now
+        self.stats.on_deliver(self.sim.now, packet.t_inject, packet.size_bytes)
+        self._account_optical_energy(packet)
+        if packet.on_delivered is not None:
+            packet.on_delivered(packet)
+        if self._sink is not None:
+            self._sink(packet)
+
+    def _account_optical_energy(self, packet: Packet) -> None:
+        if packet.src == packet.dst:
+            return
+        hops = max(1, packet.hops) if packet.hops else 1
+        self.stats.energy.add(
+            "optical", transmit_energy_pj(packet.size_bytes, self.config.tech) * hops
+        )
+
+    def propagation_ps(self, src: int, dst: int) -> int:
+        return self.config.layout.propagation_delay_ps(src, dst)

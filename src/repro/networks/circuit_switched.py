@@ -1,0 +1,138 @@
+"""Circuit-switched optical torus — the Petracca/Shacham adaptation
+(section 4.5).
+
+An 8x8 optical torus overlays the macrochip.  The non-blocking switching
+fabric places four 4x4 switch points on every inter-site crossing
+(section 4.5: the worst-case path crosses 31 switch points, ~15 dB at the
+aggressive 0.5 dB/switch assumption), controlled by a *low-bandwidth
+optical control network* — the paper's substitution for the original
+electronic path-setup mesh, which would have required an active
+substrate.  To move a packet:
+
+1. a circuit engine at the source launches a path-setup message that is
+   received, decoded, and re-emitted at every switch point along the XY
+   torus route (per-hop O-E conversion + control processing dominates);
+2. the destination returns an optical acknowledgment at light speed over
+   the now-reserved circuit;
+3. the source streams the packet over the 320 GB/s circuit;
+4. the circuit is torn down and the engine freed.
+
+Each site has a handful of circuit engines (the "additional routers
+required for non-blocking operation" of section 4.5); for 64-byte
+cache-line transfers the multi-hop setup round trip, not the 0.2 ns of
+data, is the service time — which is why this network has both the
+highest base latency and the lowest saturation bandwidth (~2.5% of peak)
+in Figure 6, and why the paper finds path setup "causes significant
+delays for small transfers such as cache lines".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List
+
+from .base import Channel, InterSiteNetwork, Packet
+from ..core.engine import Simulator
+from ..core.units import propagation_ps
+from ..macrochip.config import MacrochipConfig
+
+
+#: switch points per inter-site crossing in the non-blocking fabric; with
+#: the -1 for the shared destination ingress this yields the paper's
+#: 31-hop worst case on the 8x8 torus (4 * (4+4) - 1).
+SWITCH_POINTS_PER_CROSSING = 4
+
+
+class CircuitSwitchedTorus(InterSiteNetwork):
+    """Optical circuit-switched torus with optical control-path setup."""
+
+    name = "Circuit-Switched"
+    switching_class = "circuit"
+
+    def __init__(self, config: MacrochipConfig, sim: Simulator,
+                 warmup_ps: int = 0,
+                 control_hop_cycles: int = 20,
+                 engines_per_site: int = 8,
+                 teardown_cycles: int = 2) -> None:
+        super().__init__(config, sim, warmup_ps)
+        self.data_gb_per_s = (config.transmitters_per_site
+                              * config.wavelength_gb_per_s)
+        #: O-E conversion + decode + switch actuation at one switch point
+        self.control_hop_ps = config.cycles_ps(control_hop_cycles)
+        self.teardown_ps = config.cycles_ps(teardown_cycles)
+        #: optical flight time between adjacent switch points
+        self.hop_prop_ps = propagation_ps(
+            config.layout.site_pitch_cm / SWITCH_POINTS_PER_CROSSING)
+        self.engines_per_site = engines_per_site
+        n = config.num_sites
+        self._engines_free: List[int] = [engines_per_site] * n
+        self._engine_queue: List[Deque[Packet]] = [deque() for _ in range(n)]
+        self._rx_ports: Dict[int, Channel] = {}
+        #: circuits established (setup count), for tests/diagnostics
+        self.circuits_established = 0
+
+    # -- path geometry -----------------------------------------------------
+
+    def switch_hops(self, src: int, dst: int) -> int:
+        """Switch points a circuit traverses: four per site crossing on
+        the XY torus route, sharing the destination ingress point."""
+        hr, hc = self.config.layout.torus_hop_counts(src, dst)
+        return max(1, SWITCH_POINTS_PER_CROSSING * (hr + hc) - 1)
+
+    def setup_latency_ps(self, src: int, dst: int) -> int:
+        """One-way path-setup time: control processing at each switch
+        point plus the flight time between them."""
+        hops = self.switch_hops(src, dst)
+        return hops * (self.control_hop_ps + self.hop_prop_ps)
+
+    def ack_latency_ps(self, src: int, dst: int) -> int:
+        """The acknowledgment returns on the established circuit at light
+        speed (no per-hop processing)."""
+        return propagation_ps(self.config.layout.torus_distance_cm(src, dst))
+
+    def _rx_port(self, dst: int) -> Channel:
+        port = self._rx_ports.get(dst)
+        if port is None:
+            port = Channel(self.sim, self.data_gb_per_s, 0,
+                           name="cs-rx[%d]" % dst)
+            self._rx_ports[dst] = port
+        return port
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(self, packet: Packet) -> None:
+        packet.hops = 1
+        src = packet.src
+        if self._engines_free[src] > 0:
+            self._engines_free[src] -= 1
+            self._begin_setup(packet)
+        else:
+            self._engine_queue[src].append(packet)
+
+    def _begin_setup(self, packet: Packet) -> None:
+        setup = self.setup_latency_ps(packet.src, packet.dst)
+        ack = self.ack_latency_ps(packet.src, packet.dst)
+        self.sim.schedule(setup + ack, self._circuit_ready, packet)
+
+    def _circuit_ready(self, packet: Packet) -> None:
+        """Ack received: stream the data over the circuit."""
+        self.circuits_established += 1
+        port = self._rx_port(packet.dst)
+        tx = port.serialization_ps(packet.size_bytes)
+        flight = propagation_ps(
+            self.config.layout.torus_distance_cm(packet.src, packet.dst))
+        start = max(self.sim.now, port.next_free - flight)
+        done_at_src = start + tx
+        port.next_free = done_at_src + flight
+        port.busy_ps += tx
+        self.sim.at(done_at_src + flight, self._deliver, packet)
+        # the engine is freed once data has left and teardown is issued
+        self.sim.at(done_at_src + self.teardown_ps,
+                    self._release_engine, packet.src)
+
+    def _release_engine(self, src: int) -> None:
+        queue = self._engine_queue[src]
+        if queue:
+            self._begin_setup(queue.popleft())
+        else:
+            self._engines_free[src] += 1

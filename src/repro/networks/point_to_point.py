@@ -1,0 +1,57 @@
+"""Statically-routed WDM point-to-point network (paper section 4.2).
+
+Every site owns a dedicated optical channel to every other site: the
+transmitter picks the waveguide leading to the destination column and the
+wavelength dropped at the destination site, so there is **no arbitration,
+switching, or routing** of any kind.  The price is a narrow data path: in
+the scaled Table 4 configuration each site's 128 transmitters are divided
+over 64 destinations, giving a 2-wavelength, 5 GB/s channel per pair.
+
+Packets to a given destination queue FIFO on the pair's private channel;
+latency is pure serialization + Manhattan propagation + queueing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .base import Channel, InterSiteNetwork, Packet
+from ..core.engine import Simulator
+from ..macrochip.config import MacrochipConfig
+
+
+class PointToPointNetwork(InterSiteNetwork):
+    """Fully connected static WDM point-to-point network."""
+
+    name = "Point-to-Point"
+    switching_class = "none"
+
+    def __init__(self, config: MacrochipConfig, sim: Simulator,
+                 warmup_ps: int = 0) -> None:
+        super().__init__(config, sim, warmup_ps)
+        n = config.num_sites
+        # 128 Tx spread over all destinations (incl. the loopback slot the
+        # paper's table implies by dividing by 64): floor to whole
+        # wavelengths, minimum 1.
+        wavelengths = max(1, config.transmitters_per_site // n)
+        self.channel_wavelengths = wavelengths
+        self.channel_gb_per_s = wavelengths * config.wavelength_gb_per_s
+        self._channels: Dict[Tuple[int, int], Channel] = {}
+
+    def channel(self, src: int, dst: int) -> Channel:
+        """The dedicated (lazily created) channel for a site pair."""
+        key = (src, dst)
+        ch = self._channels.get(key)
+        if ch is None:
+            ch = Channel(
+                self.sim,
+                self.channel_gb_per_s,
+                self.propagation_ps(src, dst),
+                name="p2p[%d->%d]" % key,
+            )
+            self._channels[key] = ch
+        return ch
+
+    def _route(self, packet: Packet) -> None:
+        packet.hops = 1
+        self.channel(packet.src, packet.dst).send(packet, self._deliver)

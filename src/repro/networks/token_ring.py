@@ -1,0 +1,182 @@
+"""Token-ring optical crossbar — the Corona adaptation (section 4.4).
+
+Topology: every destination site owns a waveguide bundle, shared by all
+64 potential senders, that snakes past every site (boustrophedon ring on
+the bottom substrate).  Access is arbitrated by one optical token per
+destination circulating on a token bus along the same ring.  A sender
+diverts the token when it passes, transmits one packet on the bundle, and
+re-injects the token — which then travels *forward*, so reacquiring it
+costs a full round trip (the ~80-cycle penalty that ruins one-to-one
+patterns at macrochip scale, section 6.1).
+
+Scaling effects the paper highlights, both modeled here:
+
+* the macrochip ring is ~10x a single die, so the token round trip is
+  ~80 cycles (16 ns) — derived from the layout's snake-ring length;
+* off-resonance modulator rings force the WDM factor down to 2, which
+  costs laser power (Table 5) but not bandwidth (more waveguides), so the
+  bundle still delivers the full 320 GB/s per destination.
+
+The token is simulated lazily: while nobody wants a destination, its
+position is a closed-form function of time.  A request computes the next
+token arrival directly; a request from a site the token has not yet
+passed *preempts* a grant scheduled for a more distant site (the token is
+physically diverted by whichever waiting sender it reaches first), which
+generation counters implement without event cancellation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List
+
+from .base import InterSiteNetwork, Packet
+from ..core.engine import Simulator
+from ..core.units import propagation_ps, serialization_ps
+from ..macrochip.config import MacrochipConfig
+
+
+class _TokenState:
+    """Position/time of one destination's token plus its waiter queues."""
+
+    __slots__ = ("pos", "time_ps", "busy", "holding", "generation",
+                 "queues", "waiting", "release_pos", "release_time")
+
+    def __init__(self, num_sites: int) -> None:
+        self.pos = 0  # snake position where the token was at `time_ps`
+        self.time_ps = 0
+        self.busy = False  # a grant chain is in progress
+        self.holding = False  # a sender holds the token right now
+        self.generation = 0  # invalidates superseded grant events
+        self.queues: List[Deque[Packet]] = [deque() for _ in range(num_sites)]
+        self.waiting = 0  # total queued packets across sources
+        self.release_pos = -1  # last releasing position: cannot re-grab
+        self.release_time = 0  # ...until a full rotation after this time
+
+
+class TokenRingCrossbar(InterSiteNetwork):
+    """Corona-style token-arbitrated optical crossbar on the macrochip."""
+
+    name = "Token Ring"
+    switching_class = "arbitrated"
+
+    def __init__(self, config: MacrochipConfig, sim: Simulator,
+                 warmup_ps: int = 0,
+                 grant_overhead_ps: int = 50) -> None:
+        super().__init__(config, sim, warmup_ps)
+        layout = config.layout
+        n = layout.num_sites
+        self.num_sites = n
+        #: full 320 GB/s bundle into each destination (all site receivers)
+        self.bundle_gb_per_s = (config.receivers_per_site
+                                * config.wavelength_gb_per_s)
+        ring_cm = layout.snake_ring_length_cm()
+        self.rotation_ps = propagation_ps(ring_cm)
+        self.hop_ps = max(1, self.rotation_ps // n)
+        #: token absorb/re-inject cost per grant
+        self.grant_overhead_ps = grant_overhead_ps
+        self._tokens: Dict[int, _TokenState] = {}
+        self._snake_pos = [layout.snake_position(s) for s in range(n)]
+        self._snake_site = [layout.snake_site(p) for p in range(n)]
+
+    # -- token geometry ----------------------------------------------------
+
+    def _token(self, dst: int) -> _TokenState:
+        tok = self._tokens.get(dst)
+        if tok is None:
+            tok = _TokenState(self.num_sites)
+            self._tokens[dst] = tok
+        return tok
+
+    def _token_position_at(self, tok: _TokenState, now_ps: int):
+        """Advance a circulating token's closed-form position to
+        ``now_ps``; returns (position, time_token_was_there)."""
+        if now_ps <= tok.time_ps:
+            return tok.pos, tok.time_ps
+        hops = (now_ps - tok.time_ps) // self.hop_ps
+        pos = (tok.pos + hops) % self.num_sites
+        return pos, tok.time_ps + hops * self.hop_ps
+
+    def token_arrival_ps(self, tok: _TokenState, requester_pos: int,
+                         now_ps: int) -> int:
+        """Earliest time the token reaches ``requester_pos`` from its
+        current circulating state."""
+        pos, at = self._token_position_at(tok, now_ps)
+        hops = (requester_pos - pos) % self.num_sites
+        return max(now_ps, at + hops * self.hop_ps)
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(self, packet: Packet) -> None:
+        packet.hops = 1
+        tok = self._token(packet.dst)
+        tok.queues[self._snake_pos[packet.src]].append(packet)
+        tok.waiting += 1
+        if not tok.busy:
+            tok.busy = True
+            self._schedule_next_grant(packet.dst, tok)
+        elif not tok.holding:
+            # the token is in flight toward a scheduled grant; a closer
+            # waiting sender diverts it first, so recompute the next grant
+            tok.generation += 1
+            self._schedule_next_grant(packet.dst, tok)
+
+    def _schedule_next_grant(self, dst: int, tok: _TokenState,
+                             min_offset: int = 0) -> None:
+        """Find the next waiting source in ring order and schedule the
+        token's arrival there.
+
+        ``min_offset=1`` is used after a grant: the re-injected token
+        travels forward, so the releasing site cannot recapture it
+        without a full round trip.
+        """
+        if tok.waiting == 0:
+            tok.busy = False
+            return
+        pos, at = self._token_position_at(tok, self.sim.now)
+        best = None
+        for offset in range(min_offset, self.num_sites + min_offset):
+            p = (pos + offset) % self.num_sites
+            if not tok.queues[p]:
+                continue
+            grant_time = max(self.sim.now, at + offset * self.hop_ps)
+            if p == tok.release_pos:
+                # the releasing site sees the token again only after a
+                # full round trip; the token serves nearer waiters first
+                grant_time = max(grant_time,
+                                 tok.release_time + self.rotation_ps)
+            if best is None or grant_time < best[0]:
+                best = (grant_time, p)
+        if best is None:  # pragma: no cover - waiting>0 guarantees a hit
+            raise AssertionError("waiting>0 but no queued source")
+        self.sim.at(best[0], self._grant, dst, best[1], tok.generation)
+
+    def _grant(self, dst: int, src_pos: int, generation: int) -> None:
+        """The token reached a waiting sender: transmit one packet."""
+        tok = self._token(dst)
+        if generation != tok.generation:
+            return  # superseded by a closer requester
+        if not tok.queues[src_pos]:  # pragma: no cover - defensive
+            self._schedule_next_grant(dst, tok)
+            return
+        packet = tok.queues[src_pos].popleft()
+        tok.waiting -= 1
+        tok.holding = True
+        tx = serialization_ps(packet.size_bytes, self.bundle_gb_per_s)
+        src_site = self._snake_site[src_pos]
+        arrival = self.sim.now + tx + self.propagation_ps(src_site, dst)
+        self.sim.at(arrival, self._deliver, packet)
+        # token is re-injected after the transmission slot + overhead
+        tok.pos = src_pos
+        tok.time_ps = self.sim.now + tx + self.grant_overhead_ps
+        tok.release_pos = src_pos
+        tok.release_time = tok.time_ps
+        tok.generation += 1
+        self.sim.at(tok.time_ps, self._resume, dst, tok.generation)
+
+    def _resume(self, dst: int, generation: int) -> None:
+        tok = self._token(dst)
+        if generation != tok.generation:  # pragma: no cover - defensive
+            return
+        tok.holding = False
+        self._schedule_next_grant(dst, tok, min_offset=1)

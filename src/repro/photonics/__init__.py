@@ -1,0 +1,11 @@
+"""Silicon-photonic technology substrate: components, losses, power, layout."""
+
+from .layout import DEFAULT_LAYOUT, MacrochipLayout
+from .technology import DEFAULT_TECHNOLOGY, Technology
+
+__all__ = [
+    "Technology",
+    "DEFAULT_TECHNOLOGY",
+    "MacrochipLayout",
+    "DEFAULT_LAYOUT",
+]

@@ -1,0 +1,122 @@
+"""Macrochip physical layout and propagation geometry.
+
+The macrochip is an R x C array of sites on an SOI routing substrate
+(paper Figure 1).  Waveguides run horizontally between rows on the bottom
+layer and vertically between columns on the top layer, joined by
+inter-layer couplers, so a site-to-site optical path follows Manhattan
+geometry.  Propagation delay is 0.1 ns/cm (paper section 2).
+
+This module is the single source of distance/delay truth for every
+network model, including the snake-ring path of the token-ring crossbar
+whose 80-cycle round trip (16 ns at 5 GHz) the paper derives from the
+macrochip's 10x larger dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.units import propagation_ps
+
+
+@dataclass(frozen=True)
+class MacrochipLayout:
+    """Geometry of an ``rows x cols`` macrochip."""
+
+    rows: int = 8
+    cols: int = 8
+    site_pitch_cm: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("layout needs at least one site")
+        if self.site_pitch_cm <= 0:
+            raise ValueError("site pitch must be positive")
+
+    @property
+    def num_sites(self) -> int:
+        return self.rows * self.cols
+
+    def coords(self, site: int) -> Tuple[int, int]:
+        """(row, col) of a site id; ids are row-major."""
+        self._check_site(site)
+        return divmod(site, self.cols)
+
+    def site_at(self, row: int, col: int) -> int:
+        """Site id at (row, col); wraps modulo the array (torus helper)."""
+        return (row % self.rows) * self.cols + (col % self.cols)
+
+    def _check_site(self, site: int) -> None:
+        if not 0 <= site < self.num_sites:
+            raise ValueError(
+                "site %d outside macrochip of %d sites" % (site, self.num_sites)
+            )
+
+    def manhattan_distance_cm(self, src: int, dst: int) -> float:
+        """Waveguide path length between two sites (horizontal run to the
+        destination column, inter-layer coupler, vertical run)."""
+        r1, c1 = self.coords(src)
+        r2, c2 = self.coords(dst)
+        return (abs(r1 - r2) + abs(c1 - c2)) * self.site_pitch_cm
+
+    def propagation_delay_ps(self, src: int, dst: int) -> int:
+        """Optical flight time between two sites."""
+        return propagation_ps(self.manhattan_distance_cm(src, dst))
+
+    def torus_hop_counts(self, src: int, dst: int) -> Tuple[int, int]:
+        """(row_hops, col_hops) under torus wraparound (shortest way)."""
+        r1, c1 = self.coords(src)
+        r2, c2 = self.coords(dst)
+        dr = abs(r1 - r2)
+        dc = abs(c1 - c2)
+        return min(dr, self.rows - dr), min(dc, self.cols - dc)
+
+    def torus_distance_cm(self, src: int, dst: int) -> float:
+        hr, hc = self.torus_hop_counts(src, dst)
+        return (hr + hc) * self.site_pitch_cm
+
+    @property
+    def row_span_cm(self) -> float:
+        """Length of a waveguide spanning one full row."""
+        return (self.cols - 1) * self.site_pitch_cm
+
+    @property
+    def col_span_cm(self) -> float:
+        return (self.rows - 1) * self.site_pitch_cm
+
+    @property
+    def worst_case_distance_cm(self) -> float:
+        """Corner-to-corner Manhattan distance."""
+        return self.row_span_cm + self.col_span_cm
+
+    def snake_ring_length_cm(self) -> float:
+        """Length of a serpentine ring visiting every site once and
+        returning — the token-ring bundle path of the Corona adaptation.
+
+        A snake over R rows covers ``R * row_span`` horizontally plus
+        ``col_span`` vertically, and the return leg closes the loop.
+        """
+        forward = self.rows * self.row_span_cm + self.col_span_cm
+        return forward + self.worst_case_distance_cm
+
+    def snake_position(self, site: int) -> int:
+        """Ordinal position of a site along the snake ring (boustrophedon
+        order: even rows left-to-right, odd rows right-to-left)."""
+        row, col = self.coords(site)
+        if row % 2 == 0:
+            return row * self.cols + col
+        return row * self.cols + (self.cols - 1 - col)
+
+    def snake_site(self, position: int) -> int:
+        """Inverse of :meth:`snake_position`."""
+        position %= self.num_sites
+        row, offset = divmod(position, self.cols)
+        col = offset if row % 2 == 0 else self.cols - 1 - offset
+        return self.site_at(row, col)
+
+
+#: The paper's 8x8 macrochip at 2 cm site pitch: worst-case Manhattan path
+#: 28 cm (2.8 ns), snake ring ~ 160 cm whose round trip at 0.1 ns/cm is the
+#: 16 ns (80-cycle) token rotation of section 4.4.
+DEFAULT_LAYOUT = MacrochipLayout()

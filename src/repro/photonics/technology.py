@@ -1,0 +1,85 @@
+"""Silicon-photonic technology parameters (paper section 2, Table 1).
+
+All values are the 2014-2015 projections the paper evaluates with.  They are
+grouped in a frozen dataclass so alternative technology points (for ablation
+studies) can be constructed without touching the defaults.
+
+Units: energies in femtojoules/bit, powers in milliwatts, losses in dB,
+bandwidths in Gb/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Optical component properties (Table 1) plus link-level constants."""
+
+    # --- per-bit energies (Table 1) ---
+    modulator_energy_fj_per_bit: float = 35.0  # dynamic
+    receiver_energy_fj_per_bit: float = 65.0  # dynamic
+    laser_energy_fj_per_bit: float = 50.0  # static, amortized per bit
+
+    # --- signal losses in dB (Table 1 + section 2 text) ---
+    modulator_loss_db: float = 4.0  # on-resonance, active modulator
+    modulator_off_resonance_loss_db: float = 0.1  # passed-by, disabled ring
+    opxc_loss_db: float = 1.2  # per inter-layer / inter-chip coupling
+    local_waveguide_loss_db_per_cm: float = 0.5  # thinned-SOI local guides
+    global_waveguide_loss_db_per_cm: float = 0.1  # 3um SOI routing layer
+    drop_filter_through_loss_db: float = 0.1  # per wavelength passing through
+    drop_filter_drop_loss_db: float = 1.5  # for the selected wavelength
+    mux_insertion_loss_db: float = 2.5  # worst-case channel insertion
+    switch_loss_db: float = 1.0  # broadband 1x2 switch
+    switch_4x4_loss_db: float = 0.5  # aggressive assumption (section 4.5)
+    splitter_loss_db: float = 3.0  # 1:2 power split
+
+    # --- device power (section 2 text) ---
+    modulator_power_mw: float = 0.7  # 20 Gb/s ring modulator drive
+    receiver_power_mw: float = 1.3  # photodetector + amplifiers
+    ring_tuning_power_mw: float = 0.1  # per wavelength, mux or drop filter
+    switch_power_mw: float = 0.5  # broadband comb switch
+    laser_power_per_wavelength_mw: float = 1.0  # launched power baseline
+
+    # --- link-level constants ---
+    bit_rate_gbps: float = 20.0  # per wavelength
+    receiver_sensitivity_dbm: float = -21.0
+    laser_launch_power_dbm: float = 0.0
+    waveguide_worst_case_loss_db: float = 6.0  # across largest macrochip
+
+    @property
+    def wavelength_bandwidth_gb_per_s(self) -> float:
+        """Data bandwidth of one wavelength in GB/s (20 Gb/s -> 2.5 GB/s)."""
+        return self.bit_rate_gbps / 8.0
+
+    @property
+    def link_margin_db(self) -> float:
+        """Power budget from laser launch to receiver sensitivity."""
+        return self.laser_launch_power_dbm - self.receiver_sensitivity_dbm
+
+    def with_overrides(self, **kwargs: float) -> "Technology":
+        """Return a copy with the given fields replaced (ablation helper)."""
+        return replace(self, **kwargs)
+
+
+#: The default 2015 technology point used throughout the paper.
+DEFAULT_TECHNOLOGY = Technology()
+
+
+def table1_rows(tech: Technology = DEFAULT_TECHNOLOGY):
+    """The rows of the paper's Table 1, as (component, energy, loss) tuples."""
+    return [
+        ("Modulator", "%.0f fJ/bit (dynamic)" % tech.modulator_energy_fj_per_bit,
+         "%.0f dB" % tech.modulator_loss_db),
+        ("OPxC", "negligible", "%.1f dB" % tech.opxc_loss_db),
+        ("Waveguide", "negligible",
+         "%.1f dB/cm" % tech.local_waveguide_loss_db_per_cm),
+        ("Drop Filter", "negligible",
+         "%.1f dB or %.1f dB" % (tech.drop_filter_through_loss_db,
+                                 tech.drop_filter_drop_loss_db)),
+        ("Receiver", "%.0f fJ/bit (dynamic)" % tech.receiver_energy_fj_per_bit,
+         "N/A"),
+        ("Switch", "negligible", "%.0f dB" % tech.switch_loss_db),
+        ("Laser", "%.0f fJ/bit (static)" % tech.laser_energy_fj_per_bit, "N/A"),
+    ]

@@ -1,0 +1,41 @@
+"""Application-kernel workload models (SPLASH-2 / PARSEC substitutes).
+
+See DESIGN.md section 4 for the substitution rationale: these are
+deterministic address-stream generators with the published miss-rate,
+sharing, and communication-pattern characteristics of the real kernels,
+run through the real cache + MOESI directory model.
+"""
+
+from .barnes import BarnesKernel
+from .fft import FftKernel
+from .blackscholes import BlackscholesKernel
+from .fluidanimate import FluidanimateDensitiesKernel, FluidanimateForcesKernel
+from .lu import LuKernel
+from .radix import RadixKernel
+from .swaptions import SwaptionsKernel
+
+#: Extension kernels beyond the paper's six (see their module docs).
+EXTENSION_KERNELS = [FftKernel, LuKernel]
+
+#: Figure 7's six application columns, in the paper's order.
+FIGURE7_KERNELS = [
+    RadixKernel,
+    BarnesKernel,
+    BlackscholesKernel,
+    FluidanimateDensitiesKernel,
+    FluidanimateForcesKernel,
+    SwaptionsKernel,
+]
+
+__all__ = [
+    "RadixKernel",
+    "FftKernel",
+    "LuKernel",
+    "EXTENSION_KERNELS",
+    "BarnesKernel",
+    "BlackscholesKernel",
+    "FluidanimateDensitiesKernel",
+    "FluidanimateForcesKernel",
+    "SwaptionsKernel",
+    "FIGURE7_KERNELS",
+]

@@ -1,0 +1,64 @@
+"""Barnes-Hut kernel model (SPLASH-2 ``barnes``, 16K particles).
+
+The force-computation phase walks a shared octree: the upper tree levels
+are read by every core and stay resident in every L2 (read-shared, high
+hit rate), deeper cells are read by subsets of cores, and each core
+updates only its own bodies (private writes).  The working set fits
+caches well, so the L2 miss rate is low — the paper notes Barnes "does
+not stress any of the networks, due to a relatively low L2 cache miss
+rate", which is why its speedup spread is small (section 6.2).
+
+Model: a small hot shared set (hits after warmup), a larger cold shared
+set striped across the machine (occasional read misses that accumulate
+many sharers), and private body updates, separated by long compute gaps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ._base import KernelBase, line_addr
+from ...cpu.trace import MemoryRef
+from ...macrochip.config import MacrochipConfig
+
+
+class BarnesKernel(KernelBase):
+    """Read-shared tree walks with private body updates, low miss rate."""
+
+    name = "Barnes"
+    description = "SPLASH-2 Barnes-Hut: shared octree walk, private bodies"
+    refs_per_core = 2000
+    seed = 202
+
+    #: upper-tree lines every core re-reads constantly (stays cached)
+    hot_tree_lines = 64
+    #: deeper-tree lines, striped over all sites (cold read misses)
+    cold_tree_lines = 20000
+    #: compute gap between references (force evaluation is FLOP-heavy)
+    compute_gap = 40
+
+    def _stream(self, core: int, config: MacrochipConfig) -> Iterator[MemoryRef]:
+        rng = self._rng(core)
+        site = self._site_of(core, config)
+        n_sites = config.num_sites
+        private_base = core * 2048
+        for i in range(self.refs_per_core):
+            roll = rng.random()
+            if roll < 0.55:
+                # hot upper tree: same few lines, cached after warmup
+                block = rng.randrange(self.hot_tree_lines)
+                yield MemoryRef(self.compute_gap,
+                                line_addr(block % n_sites, block // n_sites,
+                                          n_sites))
+            elif roll < 0.80:
+                # deep tree cell: cold, read-shared across cores
+                block = rng.randrange(self.cold_tree_lines)
+                yield MemoryRef(self.compute_gap,
+                                line_addr(block % n_sites, 512 + block // n_sites,
+                                          n_sites))
+            else:
+                # private body update (own-site home, small working set)
+                block = private_base + rng.randrange(256)
+                yield MemoryRef(self.compute_gap,
+                                line_addr(site, 40000 + block, n_sites),
+                                write=True)

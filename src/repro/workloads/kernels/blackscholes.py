@@ -1,0 +1,51 @@
+"""Blackscholes kernel model (PARSEC ``blackscholes``, simlarge).
+
+Option pricing is embarrassingly parallel: each core streams once over
+its slice of the option array (read misses on cold lines homed where the
+initial distribution placed them — striped across the machine), runs a
+long closed-form computation per option, and writes the result to a
+private output slice.  There is essentially no inter-core sharing, so
+coherence traffic is plain data movement at a modest miss rate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ._base import KernelBase, line_addr
+from ...cpu.trace import MemoryRef
+from ...macrochip.config import MacrochipConfig
+
+
+class BlackscholesKernel(KernelBase):
+    """Streaming reads of striped input, private result writes."""
+
+    name = "Blackscholes"
+    description = "PARSEC blackscholes: parallel option pricing, no sharing"
+    refs_per_core = 2000
+    seed = 303
+
+    #: option records (several fields) read per priced option
+    reads_per_option = 3
+    #: closed-form pricing work per option
+    compute_gap = 18
+
+    def _stream(self, core: int, config: MacrochipConfig) -> Iterator[MemoryRef]:
+        site = self._site_of(core, config)
+        n_sites = config.num_sites
+        options = self.refs_per_core // (self.reads_per_option + 1)
+        in_base = core * 8192
+        out_base = core * 8192
+        for opt in range(options):
+            # the input array is striped across the machine by the serial
+            # initialization, so option lines land on arbitrary homes
+            in_block = in_base + opt
+            home = (core + opt) % n_sites
+            for r in range(self.reads_per_option):
+                yield MemoryRef(self.compute_gap if r == 0 else 2,
+                                line_addr(home, in_block, n_sites) + r * 16)
+            # result goes to a private, own-site output slice
+            yield MemoryRef(self.compute_gap,
+                            line_addr(site, 100000 + out_base + opt // 8,
+                                      n_sites),
+                            write=True)

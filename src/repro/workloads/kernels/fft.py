@@ -1,0 +1,76 @@
+"""FFT kernel model (SPLASH-2 ``fft`` — extension workload).
+
+Not part of the paper's six evaluated kernels; included because the
+six-step FFT is *the* classic all-to-all stress test for multiprocessor
+interconnects and slots naturally into the same harness.
+
+Structure per iteration:
+
+1. **local 1D FFTs** over the core's row block — streaming reads/writes
+   of private data (own-site homes, cache-resident after first touch);
+2. **global matrix transpose** — every core writes its sub-blocks into
+   every other processor's partition: a dense, bursty all-to-all of
+   unique lines (write misses, ownership migration, no read sharing);
+3. a second local FFT phase over the received data.
+
+The transpose phase is bursty and synchronized across cores (all cores
+hit the network at once), unlike radix's more spread-out key exchange —
+which is exactly why FFT is harsher on arbitrated networks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ._base import KernelBase, line_addr
+from ...cpu.trace import MemoryRef
+from ...macrochip.config import MacrochipConfig
+
+
+class FftKernel(KernelBase):
+    """Six-step FFT: local butterflies + global transpose."""
+
+    name = "FFT"
+    description = "SPLASH-2 FFT: local butterflies, bursty global transpose"
+    refs_per_core = 2000
+    seed = 707
+
+    #: complex points (16 B) per 64 B line
+    points_per_line = 4
+    #: references per phase, as fractions
+    local_fraction = 0.6  # split across the two local phases
+    transpose_gap = 2  # back-to-back during the transpose burst
+    local_gap = 8  # butterflies are FLOP-heavy
+
+    def _stream(self, core: int, config: MacrochipConfig) -> Iterator[MemoryRef]:
+        rng = self._rng(core)
+        site = self._site_of(core, config)
+        n_sites = config.num_sites
+        n_cores = config.num_cores
+        total = self.refs_per_core
+        n_local = int(total * self.local_fraction / 2)
+        n_transpose = total - 2 * n_local
+        base = core * 16384
+
+        # phase 1: local FFT over the private row block
+        for i in range(n_local):
+            block = base + i // self.points_per_line
+            yield MemoryRef(self.local_gap,
+                            line_addr(site, block, n_sites),
+                            write=bool(i % 2))
+
+        # phase 2: global transpose — write sub-blocks round-robin into
+        # every other core's partition (unique lines, migrating ownership)
+        for i in range(n_transpose):
+            peer = (core + 1 + i) % n_cores
+            peer_site = peer // config.cores_per_site
+            block = 300000 + peer * 8192 + core * 16 + i // n_cores
+            yield MemoryRef(self.transpose_gap,
+                            line_addr(peer_site, block, n_sites),
+                            write=True)
+
+        # phase 3: local FFT over the received (transposed) data
+        for i in range(n_local):
+            block = 300000 + core * 8192 + rng.randrange(2048)
+            yield MemoryRef(self.local_gap,
+                            line_addr(site, block, n_sites))

@@ -1,0 +1,132 @@
+"""Fluidanimate kernel models (PARSEC ``fluidanimate``, simlarge).
+
+The paper evaluates two of its phases separately:
+
+* **densities** — for every particle, read the particles in neighboring
+  grid cells and accumulate a density: read-dominated, with reads
+  crossing into cells owned by spatially adjacent processors;
+* **forces** — symmetric force computation that *writes* to both
+  particles of a pair, so boundary cells are written by two owners in
+  turn: migratory lines with invalidation traffic.
+
+The spatial decomposition maps naturally onto the macrochip: each site
+owns a block of the fluid grid, so cross-boundary accesses target grid
+neighbors — mostly the four row/column neighbors (direct links in the
+limited point-to-point network) plus the diagonal corners of the 3x3
+stencil, which are *not* row/column peers and must be forwarded.
+
+Between timesteps each owner rewrites its boundary cells and each
+neighbor re-reads them, so the boundary lines ping-pong between owner
+(Modified) and reader (Shared) every iteration — the producer-consumer
+invalidate/refetch cycle that keeps the network busy for the whole run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ._base import KernelBase, line_addr
+from ...cpu.trace import MemoryRef
+from ...macrochip.config import MacrochipConfig
+
+
+class _FluidanimateBase(KernelBase):
+    """Shared scaffolding: interior cells, owned boundary cells, and halo
+    reads of the neighbors' boundary cells."""
+
+    #: fraction of references that read a neighbor's boundary (halo)
+    halo_read_fraction = 0.30
+    #: fraction of references that update this site's own boundary
+    boundary_write_fraction = 0.15
+    #: of the halo references, how many hit a *diagonal* neighbor
+    diagonal_fraction = 0.15
+    #: distinct boundary lines shared with each neighbor
+    halo_lines = 96
+    compute_gap = 6
+    #: interior (unshared) working set per core, in lines
+    interior_lines = 224
+
+    def _axis_neighbors(self, site: int, config: MacrochipConfig) -> List[int]:
+        layout = config.layout
+        row, col = layout.coords(site)
+        return [layout.site_at(row, col - 1), layout.site_at(row, col + 1),
+                layout.site_at(row - 1, col), layout.site_at(row + 1, col)]
+
+    def _diagonal_neighbors(self, site: int,
+                            config: MacrochipConfig) -> List[int]:
+        layout = config.layout
+        row, col = layout.coords(site)
+        return [layout.site_at(row - 1, col - 1),
+                layout.site_at(row - 1, col + 1),
+                layout.site_at(row + 1, col - 1),
+                layout.site_at(row + 1, col + 1)]
+
+    def _boundary_addr(self, rng, owner: int, other: int,
+                       config: MacrochipConfig) -> int:
+        """A line in the boundary region *owned* by ``owner`` and read by
+        ``other``; homed on the owner's site."""
+        region = owner * config.num_sites + other
+        block = 200000 + region * self.halo_lines \
+            + rng.randrange(self.halo_lines)
+        return line_addr(owner, block, config.num_sites)
+
+    def _pick_neighbor(self, rng, site: int, config: MacrochipConfig) -> int:
+        if rng.random() < self.diagonal_fraction:
+            return rng.choice(self._diagonal_neighbors(site, config))
+        return rng.choice(self._axis_neighbors(site, config))
+
+    def _halo_read(self, rng, site: int, config: MacrochipConfig) -> MemoryRef:
+        neighbor = self._pick_neighbor(rng, site, config)
+        return MemoryRef(self.compute_gap,
+                         self._boundary_addr(rng, neighbor, site, config))
+
+    def _boundary_write(self, rng, site: int,
+                        config: MacrochipConfig) -> MemoryRef:
+        neighbor = self._pick_neighbor(rng, site, config)
+        return MemoryRef(self.compute_gap,
+                         self._boundary_addr(rng, site, neighbor, config),
+                         write=True)
+
+    def _interior_ref(self, rng, core: int, site: int,
+                      config: MacrochipConfig, write: bool) -> MemoryRef:
+        block = core * 1024 + rng.randrange(self.interior_lines)
+        return MemoryRef(self.compute_gap,
+                         line_addr(site, block, config.num_sites),
+                         write=write)
+
+    def _stream(self, core: int, config: MacrochipConfig) -> Iterator[MemoryRef]:
+        rng = self._rng(core)
+        site = self._site_of(core, config)
+        for _ in range(self.refs_per_core):
+            roll = rng.random()
+            if roll < self.halo_read_fraction:
+                yield self._halo_read(rng, site, config)
+            elif roll < self.halo_read_fraction + self.boundary_write_fraction:
+                yield self._boundary_write(rng, site, config)
+            else:
+                yield self._interior_ref(rng, core, site, config,
+                                         write=rng.random() < 0.3)
+
+
+class FluidanimateDensitiesKernel(_FluidanimateBase):
+    """Read-dominated neighbor-cell density accumulation: each timestep
+    re-reads boundary cells the neighbors rewrote."""
+
+    name = "Densities"
+    description = "PARSEC fluidanimate densities: halo reads, owner rewrites"
+    refs_per_core = 2000
+    seed = 404
+    halo_read_fraction = 0.35
+    boundary_write_fraction = 0.12
+
+
+class FluidanimateForcesKernel(_FluidanimateBase):
+    """Write-heavy symmetric force updates: boundary lines migrate between
+    the two sites of each pair every timestep."""
+
+    name = "Forces"
+    description = "PARSEC fluidanimate forces: migratory halo writes"
+    refs_per_core = 2000
+    seed = 505
+    halo_read_fraction = 0.22
+    boundary_write_fraction = 0.30

@@ -1,0 +1,81 @@
+"""LU decomposition kernel model (SPLASH-2 ``lu`` — extension workload).
+
+Not part of the paper's six evaluated kernels; included as a second
+extension because blocked LU has the *opposite* communication signature
+to FFT: instead of a bursty all-to-all it broadcasts one pivot block per
+step to an entire row/column of consumers — a producer/many-consumers
+read-sharing pattern where the directory accumulates large sharer lists
+and each pivot update triggers a wide invalidation fan-out.
+
+Structure per outer iteration k:
+
+1. the *owner* of diagonal block (k, k) factorizes it (private writes);
+2. every core owning a block in row/column k reads the pivot block
+   (GetS fan-in to the owner — cache-to-cache supply, many sharers);
+3. interior blocks are updated in place (private writes) using the
+   perimeter blocks (remote reads).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ._base import KernelBase, line_addr
+from ...cpu.trace import MemoryRef
+from ...macrochip.config import MacrochipConfig
+
+
+class LuKernel(KernelBase):
+    """Blocked LU: pivot-block broadcast + interior updates."""
+
+    name = "LU"
+    description = "SPLASH-2 LU: pivot broadcast, wide read sharing"
+    refs_per_core = 2000
+    seed = 808
+
+    #: lines per matrix block (a 32x32 block of doubles = 128 lines;
+    #: kept small so pivot reads stay network-visible)
+    block_lines = 32
+    #: outer iterations simulated
+    steps = 12
+    compute_gap = 10
+
+    def _stream(self, core: int, config: MacrochipConfig) -> Iterator[MemoryRef]:
+        rng = self._rng(core)
+        site = self._site_of(core, config)
+        n_sites = config.num_sites
+        refs_left = self.refs_per_core
+        per_step = max(1, self.refs_per_core // self.steps)
+        private_base = core * 32768
+
+        for k in range(self.steps):
+            if refs_left <= 0:
+                return
+            # the pivot block of step k lives on a rotating owner site
+            pivot_site = k % n_sites
+            pivot_base = 400000 + k * self.block_lines
+            budget = min(per_step, refs_left)
+            refs_left -= budget
+            for i in range(budget):
+                roll = rng.random()
+                if site == pivot_site and roll < 0.25:
+                    # owner factorizes the pivot block in place
+                    yield MemoryRef(self.compute_gap,
+                                    line_addr(pivot_site,
+                                              pivot_base
+                                              + rng.randrange(self.block_lines),
+                                              n_sites),
+                                    write=True)
+                elif roll < 0.40:
+                    # consumer reads the pivot block (wide sharing)
+                    yield MemoryRef(self.compute_gap,
+                                    line_addr(pivot_site,
+                                              pivot_base
+                                              + rng.randrange(self.block_lines),
+                                              n_sites))
+                else:
+                    # interior update of this core's own blocks
+                    block = private_base + rng.randrange(1024)
+                    yield MemoryRef(self.compute_gap,
+                                    line_addr(site, block, n_sites),
+                                    write=roll < 0.75)

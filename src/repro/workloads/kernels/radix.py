@@ -1,0 +1,76 @@
+"""Radix sort kernel model (SPLASH-2 ``radix``, 32M integers).
+
+The real kernel alternates three phases per digit pass:
+
+1. **local histogram** — each core streams through its private key
+   partition (sequential lines homed on its own site; one cold miss per
+   line, then hits for the remaining keys in the line);
+2. **global key permutation** — every core scatters its keys to buckets
+   owned by other processors, an all-to-all pattern of remote writes
+   (write misses to lines homed roughly uniformly across the machine);
+3. **local copy-back** — reads of the freshly permuted partition, again
+   mostly private.
+
+This gives radix its signature: a high L2 miss rate dominated by
+write misses with essentially no read-sharing, all-to-all in space —
+bandwidth-bound traffic the point-to-point network digests well.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ._base import KernelBase, line_addr
+from ...cpu.trace import MemoryRef
+from ...macrochip.config import MacrochipConfig
+
+
+class RadixKernel(KernelBase):
+    """All-to-all permutation writes with private histogram phases."""
+
+    name = "Radix"
+    description = "SPLASH-2 radix sort: histogram + all-to-all key exchange"
+    refs_per_core = 2400
+    seed = 101
+
+    #: keys (4 B) per 64 B line
+    keys_per_line = 16
+    #: fraction of references in each phase
+    histogram_fraction = 0.4
+    exchange_fraction = 0.4  # remainder is the copy-back read phase
+
+    def _stream(self, core: int, config: MacrochipConfig) -> Iterator[MemoryRef]:
+        rng = self._rng(core)
+        site = self._site_of(core, config)
+        n_sites = config.num_sites
+        total = self.refs_per_core
+        n_hist = int(total * self.histogram_fraction)
+        n_exch = int(total * self.exchange_fraction)
+        n_copy = total - n_hist - n_exch
+
+        # private partition: distinct block range per core on its own site
+        base_block = core * 4096
+
+        # phase 1: stream reads over the private partition; every
+        # keys_per_line-th read starts a new line (a cold miss)
+        for i in range(n_hist):
+            block = base_block + i // self.keys_per_line
+            yield MemoryRef(gap_instructions=5,
+                            addr=line_addr(site, block, n_sites)
+                            + (i % self.keys_per_line) * 4)
+
+        # phase 2: scatter writes to buckets across the whole machine;
+        # bucket lines are core-unique so ownership simply migrates
+        for i in range(n_exch):
+            dest = rng.randrange(n_sites)
+            block = base_block + 8192 + i
+            yield MemoryRef(gap_instructions=7,
+                            addr=line_addr(dest, block, n_sites),
+                            write=True)
+
+        # phase 3: read back the permuted partition (fresh lines)
+        for i in range(n_copy):
+            block = base_block + 20000 + i // self.keys_per_line
+            yield MemoryRef(gap_instructions=5,
+                            addr=line_addr(site, block, n_sites)
+                            + (i % self.keys_per_line) * 4)

@@ -1,0 +1,75 @@
+"""Swaptions kernel model (PARSEC ``swaptions``, simlarge).
+
+Monte-Carlo swaption pricing: each core prices its swaptions by
+simulating many HJM interest-rate paths.  Every simulated path streams
+through freshly generated rate matrices — a large, cache-hostile private
+footprint — while all cores repeatedly consult the shared yield-curve
+and swaption-descriptor blocks, and accumulators for each swaption are
+updated by the cores pricing it (write-shared lines with several
+sharers to invalidate).
+
+This mix — the highest miss rate of the application kernels plus
+invalidation fan-out on the accumulators — makes swaptions the
+network-heaviest app kernel; the paper records its largest point-to-point
+win there (8.3x over the circuit-switched torus, 3x over the token ring).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ._base import KernelBase, line_addr
+from ...cpu.trace import MemoryRef
+from ...macrochip.config import MacrochipConfig
+
+
+class SwaptionsKernel(KernelBase):
+    """Streaming Monte-Carlo paths + write-shared accumulators."""
+
+    name = "Swaptions"
+    description = "PARSEC swaptions: HJM Monte-Carlo, shared accumulators"
+    refs_per_core = 2400
+    seed = 606
+
+    #: shared read-only market data (yield curve, descriptors)
+    shared_input_lines = 128
+    #: swaption accumulators, each priced by a team of cores
+    accumulators = 512
+    team_size = 4
+    compute_gap = 8
+
+    def _stream(self, core: int, config: MacrochipConfig) -> Iterator[MemoryRef]:
+        rng = self._rng(core)
+        n_sites = config.num_sites
+        n_cores = config.num_cores
+        path_base = core * 65536
+        path_cursor = 0
+        # swaption pricing teams stride across the machine (the work queue
+        # hands consecutive swaptions to whichever cores are free), so an
+        # accumulator's sharers live on different sites
+        team_stride = max(1, n_cores // self.team_size)
+        acc = (core % team_stride) % self.accumulators
+        for i in range(self.refs_per_core):
+            roll = rng.random()
+            if roll < 0.55:
+                # fresh Monte-Carlo path state: streaming, never reused.
+                # PARSEC allocates these centrally, so first-touch homes
+                # them across the machine, not on the pricing core's site.
+                path_cursor += 1
+                yield MemoryRef(self.compute_gap,
+                                line_addr((core + path_cursor) % n_sites,
+                                          path_base + path_cursor, n_sites),
+                                write=bool(path_cursor % 2))
+            elif roll < 0.80:
+                # shared market data: read by everyone, striped homes
+                block = rng.randrange(self.shared_input_lines)
+                yield MemoryRef(self.compute_gap,
+                                line_addr(block % n_sites,
+                                          900000 + block // n_sites, n_sites))
+            else:
+                # accumulator shared by this core's cross-site team:
+                # ping-pongs among members, invalidating the others
+                yield MemoryRef(self.compute_gap,
+                                line_addr(acc % n_sites,
+                                          950000 + acc // n_sites, n_sites),
+                                write=True)

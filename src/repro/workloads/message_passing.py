@@ -1,0 +1,238 @@
+"""Message-passing workload models (the paper's stated future work).
+
+Section 8: "Future work will evaluate network architectures for message
+passing workloads."  These kernels drive the networks with explicit
+MPI-style communication phases instead of cache-coherence traffic: each
+site runs a communicating process that alternates compute with sends,
+and blocks on collective completion barriers the way bulk-synchronous
+codes do.
+
+Implemented collectives/patterns:
+
+* ``ring_shift``     — each site sends a block to its row-major successor;
+* ``halo_exchange``  — 2D stencil exchange with the four grid neighbors;
+* ``all_to_all``     — personalized all-to-all (MPI_Alltoall);
+* ``all_reduce``     — recursive-doubling allreduce over site ids.
+
+Each pattern generates per-site *rounds*: a round is a set of
+(destination, bytes) sends that must all be delivered (and the site's
+expected receives arrive) before the next round starts — a closed-loop,
+barrier-synchronized driver built directly on the network interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.engine import Simulator
+from ..core.stats import LatencySample
+from ..macrochip.config import MacrochipConfig
+from ..networks.base import Packet
+from ..networks.factory import build_network
+
+
+#: one send: (destination site, payload bytes)
+Send = Tuple[int, int]
+#: one round per site: list of sends issued together
+Round = List[Send]
+
+
+@dataclass(frozen=True)
+class MessagePassingWorkload:
+    """A named schedule of communication rounds for every site."""
+
+    name: str
+    #: rounds[r][site] -> list of sends
+    rounds: List[List[Round]]
+    #: compute time between rounds, in cycles
+    compute_gap_cycles: int = 100
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def total_bytes(self) -> int:
+        return sum(size for rnd in self.rounds for site_sends in rnd
+                   for _, size in site_sends)
+
+
+def ring_shift(config: MacrochipConfig, rounds: int = 8,
+               block_bytes: int = 4096) -> MessagePassingWorkload:
+    """Every site passes a block to its successor each round."""
+    n = config.num_sites
+    schedule = [
+        [[((site + 1) % n, block_bytes)] for site in range(n)]
+        for _ in range(rounds)
+    ]
+    return MessagePassingWorkload("ring_shift", schedule)
+
+
+def halo_exchange(config: MacrochipConfig, rounds: int = 8,
+                  face_bytes: int = 2048) -> MessagePassingWorkload:
+    """2D stencil: each site exchanges a face with its four neighbors."""
+    layout = config.layout
+    schedule = []
+    for _ in range(rounds):
+        rnd = []
+        for site in range(layout.num_sites):
+            r, c = layout.coords(site)
+            rnd.append([
+                (layout.site_at(r, c - 1), face_bytes),
+                (layout.site_at(r, c + 1), face_bytes),
+                (layout.site_at(r - 1, c), face_bytes),
+                (layout.site_at(r + 1, c), face_bytes),
+            ])
+        schedule.append(rnd)
+    return MessagePassingWorkload("halo_exchange", schedule)
+
+
+def all_to_all(config: MacrochipConfig, rounds: int = 2,
+               slice_bytes: int = 512) -> MessagePassingWorkload:
+    """Personalized all-to-all: every site sends a slice to every other."""
+    n = config.num_sites
+    schedule = [
+        [[(dst, slice_bytes) for dst in range(n) if dst != site]
+         for site in range(n)]
+        for _ in range(rounds)
+    ]
+    return MessagePassingWorkload("all_to_all", schedule)
+
+
+def all_reduce(config: MacrochipConfig, vector_bytes: int = 8192,
+               repeats: int = 4) -> MessagePassingWorkload:
+    """Recursive-doubling allreduce: log2(N) rounds of pairwise
+    exchanges at stride 1, 2, 4, ... (requires a power-of-two site
+    count)."""
+    n = config.num_sites
+    if n & (n - 1):
+        raise ValueError("all_reduce needs a power-of-two site count")
+    schedule = []
+    for _ in range(repeats):
+        stride = 1
+        while stride < n:
+            rnd = [[(site ^ stride, vector_bytes)] for site in range(n)]
+            schedule.append(rnd)
+            stride *= 2
+    return MessagePassingWorkload("all_reduce", schedule)
+
+
+MESSAGE_PASSING_WORKLOADS = {
+    "ring_shift": ring_shift,
+    "halo_exchange": halo_exchange,
+    "all_to_all": all_to_all,
+    "all_reduce": all_reduce,
+}
+
+
+@dataclass
+class MessagePassingResult:
+    """Outcome of one (workload, network) message-passing run."""
+
+    network: str
+    workload: str
+    runtime_ps: int
+    rounds: int
+    messages: int
+    bytes_moved: int
+    message_latency: LatencySample
+    energy_by_category: Dict[str, float]
+
+    @property
+    def runtime_ns(self) -> float:
+        return self.runtime_ps / 1000.0
+
+    @property
+    def effective_bandwidth_gb_per_s(self) -> float:
+        """Aggregate delivered bandwidth over the whole run."""
+        if self.runtime_ps == 0:
+            return 0.0
+        return self.bytes_moved * 1000.0 / self.runtime_ps
+
+
+class MessagePassingRunner:
+    """Barrier-synchronized replay of a message-passing schedule.
+
+    Large application messages are segmented into network packets of at
+    most ``segment_bytes`` (a cache-line-sized 64 B by default, matching
+    the networks' transfer granularity); a round completes when every
+    segment of every send in the round has been delivered.
+    """
+
+    def __init__(self, workload: MessagePassingWorkload, network_name: str,
+                 config: MacrochipConfig, segment_bytes: int = 64,
+                 network_kwargs: Optional[dict] = None) -> None:
+        if segment_bytes < 1:
+            raise ValueError("segment size must be positive")
+        self.workload = workload
+        self.config = config
+        self.segment_bytes = segment_bytes
+        self.sim = Simulator()
+        self.network = build_network(network_name, config, self.sim,
+                                     **(network_kwargs or {}))
+        self._latency = LatencySample()
+        self._messages = 0
+        self._bytes = 0
+
+    def run(self) -> MessagePassingResult:
+        self._start_round(0)
+        self.sim.run()
+        return MessagePassingResult(
+            network=self.network.name,
+            workload=self.workload.name,
+            runtime_ps=self.sim.now,
+            rounds=self.workload.num_rounds,
+            messages=self._messages,
+            bytes_moved=self._bytes,
+            message_latency=self._latency,
+            energy_by_category=self.network.stats.energy.categories(),
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _start_round(self, index: int) -> None:
+        if index >= self.workload.num_rounds:
+            return
+        rnd = self.workload.rounds[index]
+        outstanding = {"count": 0}
+
+        def delivered(packet: Packet, sent_at: int) -> None:
+            self._latency.add(self.sim.now - sent_at)
+            outstanding["count"] -= 1
+            if outstanding["count"] == 0:
+                gap = (self.workload.compute_gap_cycles
+                       * self.config.cycle_ps)
+                self.sim.schedule(gap, self._start_round, index + 1)
+
+        sent_at = self.sim.now
+        for site, sends in enumerate(rnd):
+            for dst, size in sends:
+                for seg in self._segments(size):
+                    outstanding["count"] += 1
+                    self._messages += 1
+                    self._bytes += seg
+                    packet = Packet(
+                        site, dst, seg, kind="mp",
+                        on_delivered=lambda p, t=sent_at: delivered(p, t))
+                    self.network.inject(packet)
+        if outstanding["count"] == 0:  # a round with no sends
+            self.sim.schedule(1, self._start_round, index + 1)
+
+    def _segments(self, size: int) -> List[int]:
+        full, rem = divmod(size, self.segment_bytes)
+        return [self.segment_bytes] * full + ([rem] if rem else [])
+
+
+def run_message_passing(workload_name: str, network_name: str,
+                        config: MacrochipConfig,
+                        **workload_kwargs) -> MessagePassingResult:
+    """Convenience one-shot: build the named workload and run it."""
+    try:
+        factory = MESSAGE_PASSING_WORKLOADS[workload_name]
+    except KeyError:
+        raise KeyError(
+            "unknown message-passing workload %r; choose from %s"
+            % (workload_name, ", ".join(sorted(MESSAGE_PASSING_WORKLOADS)))
+        ) from None
+    workload = factory(config, **workload_kwargs)
+    return MessagePassingRunner(workload, network_name, config).run()

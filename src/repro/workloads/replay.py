@@ -1,0 +1,188 @@
+"""Closed-loop replay of a coherence trace on a network.
+
+Each core issues its coherence operations in order, separated by its
+recorded compute gaps, and **stalls** until the operation's network
+message plan completes (in-order cores, section 3).  Writebacks are
+fire-and-forget.  A site's outstanding operations are bounded by its
+MSHRs (section 5: "We model finite MSHRs").
+
+The replay produces the three quantities Figures 7, 8, and 10 are built
+from: execution time (speedups), mean latency per coherence operation,
+and network energy (optical transceiver + electronic router dynamic
+energy from the network's own accounting, plus static laser power applied
+over the runtime by :mod:`repro.analysis.edp`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from ..core.engine import Simulator
+from ..core.stats import LatencySample
+from ..cpu.coherence import CoherenceOp, MessageStep, OpKind, message_plan
+from ..cpu.trace import CoherenceTrace
+from ..macrochip.config import MacrochipConfig
+from ..networks.base import Packet
+from ..networks.factory import build_network
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one (workload, network) closed-loop run."""
+
+    network: str
+    workload: str
+    runtime_ps: int
+    ops_completed: int
+    messages_sent: int
+    op_latency: LatencySample
+    energy_by_category: Dict[str, float]
+
+    @property
+    def runtime_ns(self) -> float:
+        return self.runtime_ps / 1000.0
+
+    @property
+    def mean_op_latency_ns(self) -> float:
+        return self.op_latency.mean_ns
+
+    @property
+    def dynamic_energy_pj(self) -> float:
+        return sum(self.energy_by_category.values())
+
+
+class _CoreState:
+    """Progress of one core through its operation list."""
+
+    __slots__ = ("ops", "index")
+
+    def __init__(self, ops: List[CoherenceOp]) -> None:
+        self.ops = ops
+        self.index = 0
+
+
+class TraceReplayer:
+    """Drives a coherence trace through one network, closed-loop."""
+
+    def __init__(self, trace: CoherenceTrace, network_name: str,
+                 config: MacrochipConfig,
+                 network_kwargs: Optional[dict] = None) -> None:
+        self.trace = trace
+        self.config = config
+        self.sim = Simulator()
+        self.network = build_network(network_name, config, self.sim,
+                                     **(network_kwargs or {}))
+        self._op_latency = LatencySample()
+        self._messages = 0
+        self._mshrs_free = [config.mshrs_per_site] * config.num_sites
+        self._mshr_waiters: List[Deque] = [deque()
+                                           for _ in range(config.num_sites)]
+
+    # -- public --------------------------------------------------------------
+
+    def run(self) -> ReplayResult:
+        cycle = self.config.cycle_ps
+        for core, ops in enumerate(self.trace.ops_by_core):
+            state = _CoreState(ops)
+            if ops:
+                self.sim.at(ops[0].gap_cycles * cycle,
+                            self._issue, core, state)
+        self.sim.run()
+        return ReplayResult(
+            network=self.network.name,
+            workload=self.trace.workload,
+            runtime_ps=self.sim.now,
+            ops_completed=len(self._op_latency),
+            messages_sent=self._messages,
+            op_latency=self._op_latency,
+            energy_by_category=self.network.stats.energy.categories(),
+        )
+
+    # -- core state machine ----------------------------------------------------
+
+    def _issue(self, core: int, state: _CoreState) -> None:
+        op = state.ops[state.index]
+        site = op.requester
+        if self._mshrs_free[site] == 0:
+            self._mshr_waiters[site].append((core, state))
+            return
+        self._mshrs_free[site] -= 1
+        issue_time = self.sim.now
+        if op.kind is OpKind.WRITEBACK:
+            # fire-and-forget: inject and continue immediately
+            self._send_plan(op, issue_time, on_complete=None)
+            self._op_done(core, state, op, issue_time, stalled=False)
+            return
+        self._send_plan(
+            op, issue_time,
+            on_complete=lambda: self._op_done(core, state, op, issue_time,
+                                              stalled=True))
+
+    def _op_done(self, core: int, state: _CoreState, op: CoherenceOp,
+                 issue_time: int, stalled: bool) -> None:
+        if stalled:
+            # writebacks are fire-and-forget and excluded from the
+            # latency-per-coherence-operation metric (Figure 8)
+            self._op_latency.add(self.sim.now - issue_time)
+        self._release_mshr(op.requester)
+        state.index += 1
+        if state.index < len(state.ops):
+            gap = state.ops[state.index].gap_cycles * self.config.cycle_ps
+            self.sim.schedule(gap, self._issue, core, state)
+
+    def _release_mshr(self, site: int) -> None:
+        waiters = self._mshr_waiters[site]
+        self._mshrs_free[site] += 1
+        if waiters:
+            core, state = waiters.popleft()
+            self.sim.schedule(0, self._issue, core, state)
+
+    # -- message plan execution --------------------------------------------------
+
+    def _send_plan(self, op: CoherenceOp, issue_time: int,
+                   on_complete) -> None:
+        cfg = self.config
+        steps = message_plan(op, cfg.control_message_bytes,
+                             cfg.data_message_bytes,
+                             cfg.directory_latency_cycles,
+                             cfg.memory_latency_cycles)
+        dependents: Dict[int, List[int]] = {}
+        remaining = 0
+        for i, step in enumerate(steps):
+            if step.completes:
+                remaining += 1
+            if step.depends_on is not None:
+                dependents.setdefault(step.depends_on, []).append(i)
+        tracker = {"remaining": remaining}
+
+        def inject(index: int) -> None:
+            step = steps[index]
+            self._messages += 1
+            packet = Packet(step.src, step.dst, step.size_bytes,
+                            kind=step.kind,
+                            on_delivered=lambda _p, i=index: delivered(i))
+            self.network.inject(packet)
+
+        def delivered(index: int) -> None:
+            step = steps[index]
+            if step.completes and on_complete is not None:
+                tracker["remaining"] -= 1
+                if tracker["remaining"] == 0:
+                    on_complete()
+            for dep_index in dependents.get(index, ()):
+                delay = steps[dep_index].extra_delay_cycles * cfg.cycle_ps
+                self.sim.schedule(delay, inject, dep_index)
+
+        for i, step in enumerate(steps):
+            if step.depends_on is None:
+                self.sim.at(issue_time, inject, i)
+
+
+def replay(trace: CoherenceTrace, network_name: str,
+           config: MacrochipConfig,
+           network_kwargs: Optional[dict] = None) -> ReplayResult:
+    """Convenience one-shot replay."""
+    return TraceReplayer(trace, network_name, config,
+                         network_kwargs).run()

@@ -1,0 +1,62 @@
+"""Coherence sharing mixes (paper section 5).
+
+The synthetic benchmarks are driven by two coherence mixes:
+
+* **LS (Less Sharing)** — 90% of coherence requests find no sharers for
+  the cache block (the remaining 10% find one);
+* **MS (More Sharing)** — 40% of requests find three sharers.
+
+A request that "finds sharers" costs real network work: a read finds a
+remote owner that must supply data cache-to-cache, and a write triggers
+an invalidation/acknowledgment fan-out of small control messages — which
+is why the MS mix punishes arbitrated networks so badly (section 6.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SharingMix:
+    """Probability that a request finds sharers, and how many."""
+
+    name: str
+    sharer_probability: float
+    sharer_count: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sharer_probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.sharer_count < 0:
+            raise ValueError("sharer count must be non-negative")
+
+    def draw_sharers(self, rng: random.Random, requester: int,
+                     num_sites: int) -> Tuple[int, ...]:
+        """Sample the remote sites holding copies for one request.
+
+        Sharers are distinct sites other than the requester.
+        """
+        if rng.random() >= self.sharer_probability:
+            return ()
+        count = min(self.sharer_count, num_sites - 1)
+        sharers = rng.sample(
+            [s for s in range(num_sites) if s != requester], count)
+        return tuple(sorted(sharers))
+
+
+#: Less Sharing: 90% of requests have no sharers (10% find one).
+LESS_SHARING = SharingMix("LS", sharer_probability=0.10, sharer_count=1)
+#: More Sharing: 40% of requests find three sharers.
+MORE_SHARING = SharingMix("MS", sharer_probability=0.40, sharer_count=3)
+
+
+def mix_by_name(name: str) -> SharingMix:
+    table = {"LS": LESS_SHARING, "MS": MORE_SHARING}
+    try:
+        return table[name.upper()]
+    except KeyError:
+        raise KeyError("unknown sharing mix %r (use 'LS' or 'MS')"
+                       % name) from None

@@ -1,0 +1,127 @@
+"""Synthetic traffic patterns (paper Table 3).
+
+Each pattern maps a source site to a destination site, possibly randomly:
+
+* **uniform** — a fresh random destination for every packet;
+* **transpose** — the first half of the site-id bits swaps with the second
+  half (i.e. (row, col) -> (col, row));
+* **butterfly** — the LSB and MSB of the site id swap (half of all sites
+  map to themselves, which the paper serves over the single-cycle
+  intra-site loopback);
+* **neighbor** — a random pick among the four grid neighbors (torus wrap,
+  so every site always has four).
+
+Patterns are objects (not bare functions) so they carry their paper name,
+their own RNG for reproducibility, and the bit-twiddling helpers tests can
+probe directly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..photonics.layout import MacrochipLayout
+
+
+class TrafficPattern:
+    """Base class: yields a destination for each (source, packet)."""
+
+    #: name used in figures/tables
+    name = "abstract"
+    #: paper's Figure 6 sweeps stop at different loads per pattern
+    sweep_max_fraction = 1.0
+
+    def __init__(self, layout: MacrochipLayout = None, seed: int = 0) -> None:
+        self.layout = layout or MacrochipLayout()
+        self.rng = random.Random(seed)
+
+    def destination(self, src: int) -> int:
+        raise NotImplementedError
+
+    def reseed(self, seed: int) -> None:
+        self.rng.seed(seed)
+
+
+class UniformTraffic(TrafficPattern):
+    """Uniform random destination over all *other* sites."""
+
+    name = "Uniform"
+    sweep_max_fraction = 1.0
+
+    def destination(self, src: int) -> int:
+        n = self.layout.num_sites
+        dst = self.rng.randrange(n - 1)
+        return dst if dst < src else dst + 1
+
+
+class TransposeTraffic(TrafficPattern):
+    """Swap the high and low halves of the site-id bits: (r, c) -> (c, r)."""
+
+    name = "Transpose"
+    sweep_max_fraction = 0.06
+
+    def destination(self, src: int) -> int:
+        row, col = self.layout.coords(src)
+        return self.layout.site_at(col, row)
+
+
+class ButterflyTraffic(TrafficPattern):
+    """Swap the LSB and MSB of the site id."""
+
+    name = "Butterfly"
+    sweep_max_fraction = 0.06
+
+    def __init__(self, layout: MacrochipLayout = None, seed: int = 0) -> None:
+        super().__init__(layout, seed)
+        n = self.layout.num_sites
+        if n & (n - 1):
+            raise ValueError("butterfly needs a power-of-two site count")
+        self._msb_shift = n.bit_length() - 2
+
+    def destination(self, src: int) -> int:
+        lsb = src & 1
+        msb = (src >> self._msb_shift) & 1
+        if lsb == msb:
+            return src
+        flipped = src ^ 1 ^ (1 << self._msb_shift)
+        return flipped
+
+
+class NeighborTraffic(TrafficPattern):
+    """Random pick among the four torus-wrapped grid neighbors."""
+
+    name = "Nearest-Neighbor"
+    sweep_max_fraction = 0.25
+
+    def destination(self, src: int) -> int:
+        row, col = self.layout.coords(src)
+        dr, dc = self.rng.choice(((0, -1), (0, 1), (-1, 0), (1, 0)))
+        return self.layout.site_at(row + dr, col + dc)
+
+
+#: Figure 6's four panels, in the paper's order.
+FIGURE6_PATTERNS = [UniformTraffic, TransposeTraffic, NeighborTraffic,
+                    ButterflyTraffic]
+
+
+def make_pattern(name: str, layout: MacrochipLayout = None,
+                 seed: int = 0) -> TrafficPattern:
+    """Build a pattern by its lowercase key ('uniform', 'transpose',
+    'butterfly', 'neighbor')."""
+    table = {
+        "uniform": UniformTraffic,
+        "transpose": TransposeTraffic,
+        "butterfly": ButterflyTraffic,
+        "neighbor": NeighborTraffic,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise KeyError("unknown pattern %r; choose one of %s"
+                       % (name, ", ".join(sorted(table)))) from None
+    return cls(layout, seed)
+
+
+def pattern_names() -> List[str]:
+    return ["uniform", "transpose", "butterfly", "neighbor"]

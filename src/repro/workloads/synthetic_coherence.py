@@ -1,0 +1,92 @@
+"""Synthetic coherence-traffic benchmarks for Figures 7 and 8.
+
+The paper's synthetic benchmarks ("All-to-all", "Transpose",
+"Transpose-MS", "Neighbor", "Butterfly") drive the coherence protocol at
+a rate equivalent to a 4% L2-miss-per-instruction rate, with the home of
+each missed line chosen by the message pattern and the sharer population
+drawn from an LS or MS mix (section 5).
+
+This module builds those :class:`~repro.cpu.trace.CoherenceTrace` objects
+directly — no cache simulation needed, since the miss rate and sharing
+are the benchmark's *definition* — for the closed-loop network replay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from .sharing import LESS_SHARING, SharingMix
+from .synthetic import TrafficPattern, UniformTraffic
+from ..cpu.coherence import CoherenceOp, OpKind
+from ..cpu.trace import CoherenceTrace
+from ..macrochip.config import MacrochipConfig
+
+
+@dataclass(frozen=True)
+class SyntheticCoherenceSpec:
+    """Parameters of one synthetic coherence benchmark."""
+
+    name: str
+    miss_rate: float = 0.04  # L2 misses per instruction (section 5)
+    write_fraction: float = 0.4
+    ops_per_core: int = 150
+    seed: int = 2010
+
+
+def generate_synthetic_trace(spec: SyntheticCoherenceSpec,
+                             pattern: TrafficPattern,
+                             mix: SharingMix,
+                             config: MacrochipConfig) -> CoherenceTrace:
+    """Build the per-core coherence trace for one synthetic benchmark.
+
+    Each operation's home site follows the pattern (uniform draws fresh
+    destinations; transpose/butterfly are fixed maps; neighbor picks a
+    random grid neighbor).  Reads that find sharers are served
+    cache-to-cache by a remote owner; writes that find sharers pay the
+    invalidation/acknowledgment fan-out.
+    """
+    if not 0.0 < spec.miss_rate <= 1.0:
+        raise ValueError("miss rate must be in (0, 1]")
+    rng = random.Random(spec.seed)
+    pattern.reseed(spec.seed ^ 0xC0FFEE)
+    mean_gap = 1.0 / spec.miss_rate
+    trace = CoherenceTrace("%s-%s" % (spec.name, mix.name),
+                           config.num_cores)
+    n = config.num_sites
+    for core in range(config.num_cores):
+        site = core // config.cores_per_site
+        ops = trace.ops_by_core[core]
+        for _ in range(spec.ops_per_core):
+            gap = max(1, int(rng.expovariate(1.0 / mean_gap)))
+            home = pattern.destination(site)
+            is_write = rng.random() < spec.write_fraction
+            sharers = mix.draw_sharers(rng, site, n)
+            if is_write:
+                kind = OpKind.GET_M
+                owner = None
+                inv = sharers  # every sharer must be invalidated
+            else:
+                kind = OpKind.GET_S
+                # a read that finds a sharer is supplied cache-to-cache
+                owner = sharers[0] if sharers else None
+                inv = ()
+            ops.append(CoherenceOp(
+                core=core, gap_cycles=gap, kind=kind, requester=site,
+                home=home, owner=owner, sharers=inv, line=0))
+            trace.total_instructions += gap
+            trace.l2_misses += 1
+            trace.total_references += 1
+    return trace
+
+
+#: The five synthetic columns of Figure 7, in the paper's order:
+#: (display name, pattern key, mix name)
+FIGURE7_SYNTHETIC: List[tuple] = [
+    ("All-to-all", "uniform", "LS"),
+    ("Transpose", "transpose", "LS"),
+    ("Transpose-MS", "transpose", "MS"),
+    ("Neighbor", "neighbor", "LS"),
+    ("Butterfly", "butterfly", "LS"),
+]

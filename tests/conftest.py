@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite.
+
+Most tests run on a 4x4 macrochip (16 sites) — every mechanism in the
+networks and the coherence stack is exercised identically at that scale,
+at a fraction of the simulation cost of the paper's 8x8 configuration.
+Tests that check paper-exact numbers (Tables 5/6, link budgets) use the
+full scaled configuration explicitly.
+"""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.macrochip.config import MacrochipConfig, scaled_config, small_test_config
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def small_config() -> MacrochipConfig:
+    return small_test_config(4, 4)
+
+
+@pytest.fixture
+def paper_config() -> MacrochipConfig:
+    return scaled_config()

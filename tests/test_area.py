@@ -1,0 +1,60 @@
+"""Tests for the waveguide area / bandwidth-density model."""
+
+import pytest
+
+from repro.analysis.area import (
+    WAVEGUIDE_PITCH_UM,
+    area_table,
+    bandwidth_density_gb_per_s_per_mm,
+    estimate_area,
+    substrate_area_cm2,
+    wdm_scaling_table,
+)
+from repro.macrochip.config import scaled_config
+from repro.networks.complexity import p2p_count, token_ring_count
+
+
+def test_p2p_area():
+    est = estimate_area(p2p_count(), scaled_config())
+    # 3072 guides x 14 cm at 10 um pitch
+    assert est.total_length_m == pytest.approx(3072 * 0.14)
+    assert est.routing_area_cm2 == pytest.approx(3072 * 14 * 1e-3)
+
+
+def test_token_ring_consumes_most_area():
+    table = {e.network: e for e in area_table()}
+    tr = table["Token-Ring"].routing_area_cm2
+    for name, est in table.items():
+        if name != "Token-Ring":
+            assert est.routing_area_cm2 < tr
+
+
+def test_routing_fits_on_substrate():
+    """Every network's routing must fit within the substrate area (two
+    routing layers give 2x the chip footprint)."""
+    budget = 2 * substrate_area_cm2()
+    for est in area_table():
+        assert est.routing_area_cm2 < budget, est.network
+
+
+def test_substrate_area():
+    # 8 x 8 sites at 2 cm pitch -> 16 cm x 16 cm
+    assert substrate_area_cm2() == pytest.approx(256.0)
+
+
+def test_bandwidth_density():
+    # 100 guides/mm x 8 wavelengths x 2.5 GB/s = 2 TB/s per mm
+    assert bandwidth_density_gb_per_s_per_mm() == pytest.approx(2000.0)
+    # the 2015 target's 16-wavelength WDM doubles it
+    assert bandwidth_density_gb_per_s_per_mm(
+        wavelengths=16) == pytest.approx(4000.0)
+
+
+def test_wdm_scaling_holds_waveguides_constant():
+    """Section 6.4: P2P peak bandwidth scales with the WDM factor at a
+    constant waveguide count — unlike electrical wires."""
+    rows = wdm_scaling_table(wdm_factors=[8, 16, 32])
+    (w0, bw0, wg0), (w1, bw1, wg1), (w2, bw2, wg2) = rows
+    assert wg0 == wg1 == wg2
+    assert bw1 == pytest.approx(2 * bw0)
+    assert bw2 == pytest.approx(4 * bw0)

@@ -1,0 +1,160 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.cache import SetAssociativeCache
+
+
+def make_cache(size=4096, line=64, ways=2):
+    return SetAssociativeCache(size, line, ways)
+
+
+def test_geometry():
+    c = SetAssociativeCache(256 * 1024, 64, 8)
+    assert c.num_sets == 512
+    assert c.line_bytes == 64
+    assert c.ways == 8
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        SetAssociativeCache(1000, 64, 2)  # not divisible
+    with pytest.raises(ValueError):
+        SetAssociativeCache(4096, 60, 2)  # line not power of two
+
+
+def test_line_address_alignment():
+    c = make_cache()
+    assert c.line_address(0) == 0
+    assert c.line_address(63) == 0
+    assert c.line_address(64) == 64
+    assert c.line_address(130) == 128
+
+
+def test_miss_then_hit():
+    c = make_cache()
+    r1 = c.access(0x1000, is_write=False)
+    assert not r1.hit
+    r2 = c.access(0x1000, is_write=False)
+    assert r2.hit
+
+
+def test_same_line_different_offsets_hit():
+    c = make_cache()
+    c.access(0x1000, is_write=False)
+    assert c.access(0x1030, is_write=False).hit
+
+
+def conflict_addrs(cache, count):
+    """Distinct line addresses that all map to the same (hashed) set."""
+    target = cache.set_index(0)
+    addrs = [0]
+    line = 1
+    while len(addrs) < count:
+        addr = line * cache.line_bytes
+        if cache.set_index(addr) == target:
+            addrs.append(addr)
+        line += 1
+    return addrs
+
+
+def test_lru_eviction():
+    c = make_cache(ways=2)
+    a, b, d = conflict_addrs(c, 3)
+    c.access(a, False)
+    c.access(b, False)
+    c.access(a, False)  # refresh a: b is now LRU
+    r = c.access(d, False)
+    assert not r.hit
+    assert r.evicted_line == b
+    assert c.contains(a)
+    assert not c.contains(b)
+
+
+def test_dirty_victim_reports_writeback():
+    c = make_cache(ways=1)
+    a, b = conflict_addrs(c, 2)
+    c.access(a, is_write=True)
+    r = c.access(b, is_write=False)
+    assert r.writeback_line == a
+    assert r.evicted_line == a
+
+
+def test_clean_victim_no_writeback():
+    c = make_cache(ways=1)
+    a, b = conflict_addrs(c, 2)
+    c.access(a, is_write=False)
+    r = c.access(b, is_write=False)
+    assert r.writeback_line is None
+    assert r.evicted_line == a
+
+
+def test_write_sets_dirty_on_hit():
+    c = make_cache(ways=1)
+    a, b = conflict_addrs(c, 2)
+    c.access(a, is_write=False)
+    c.access(a, is_write=True)  # hit-dirty
+    r = c.access(b, is_write=False)
+    assert r.writeback_line == a
+
+
+def test_invalidate():
+    c = make_cache()
+    c.access(0x2000, False)
+    assert c.invalidate(0x2000)
+    assert not c.contains(0x2000)
+    assert not c.invalidate(0x2000)  # already gone
+
+
+def test_mark_clean():
+    c = make_cache(ways=1)
+    a, b = conflict_addrs(c, 2)
+    c.access(a, is_write=True)
+    c.mark_clean(a)
+    r = c.access(b, is_write=False)
+    assert r.writeback_line is None
+
+
+def test_resident_lines_counts():
+    c = make_cache()
+    for i in range(5):
+        c.access(i * 64, False)
+    assert c.resident_lines == 5
+    assert sorted(c.lines()) == [i * 64 for i in range(5)]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=63),
+                          st.booleans()),
+                min_size=1, max_size=300))
+def test_against_reference_lru_model(ops):
+    """The cache must agree with a brute-force LRU reference model on
+    hit/miss for every access (addresses constrained to 64 lines over a
+    small cache to force plenty of evictions)."""
+    cache = SetAssociativeCache(16 * 64 * 2, 64, 2)  # 16 sets, 2 ways
+    ref = {}  # set_index -> list of lines, MRU last
+
+    for line_no, is_write in ops:
+        addr = line_no * 64
+        set_i = cache.set_index(addr)
+        entries = ref.setdefault(set_i, [])
+        expected_hit = addr in entries
+        got = cache.access(addr, is_write)
+        assert got.hit == expected_hit
+        if expected_hit:
+            entries.remove(addr)
+        elif len(entries) >= 2:
+            victim = entries.pop(0)
+            assert got.evicted_line == victim
+        entries.append(addr)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=4095), min_size=1,
+                max_size=500))
+def test_capacity_never_exceeded(lines):
+    cache = SetAssociativeCache(4096, 64, 2)
+    for line_no in lines:
+        cache.access(line_no * 64, False)
+        assert cache.resident_lines <= 4096 // 64

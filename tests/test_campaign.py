@@ -1,0 +1,60 @@
+"""Tests for the disk-backed campaign runner."""
+
+import os
+
+import pytest
+
+from repro.experiments.campaign import Campaign
+from repro.macrochip.config import small_test_config
+
+
+NETS = ["point_to_point", "circuit_switched"]
+LOADS = ["Radix", "All-to-all"]
+
+
+@pytest.fixture
+def campaign(tmp_path):
+    return Campaign(str(tmp_path / "c"), preset_name="smoke",
+                    config=small_test_config(2, 2))
+
+
+def test_run_produces_full_grid(campaign):
+    grid = campaign.run(networks=NETS, workloads=LOADS)
+    assert set(grid) == set(LOADS)
+    for workload in LOADS:
+        assert set(grid[workload]) == set(NETS)
+        for entry in grid[workload].values():
+            assert entry.runtime_ps > 0
+            assert entry.ops_completed > 0
+
+
+def test_traces_cached_on_disk(campaign):
+    campaign.run(networks=["point_to_point"], workloads=["Radix"])
+    assert os.path.exists(os.path.join(campaign.traces_dir, "Radix.json"))
+
+
+def test_results_cached_and_reused(campaign):
+    first = campaign.run(networks=NETS, workloads=["Radix"])
+    count = campaign.completed_pairs()
+    # second run must reuse everything (identical values, no new files)
+    second = campaign.run(networks=NETS, workloads=["Radix"])
+    assert campaign.completed_pairs() == count
+    for net in NETS:
+        assert (first["Radix"][net].runtime_ps
+                == second["Radix"][net].runtime_ps)
+
+
+def test_incremental_network_addition(campaign):
+    campaign.run(networks=["point_to_point"], workloads=["Radix"])
+    before = campaign.completed_pairs()
+    grid = campaign.run(networks=NETS, workloads=["Radix"])
+    assert campaign.completed_pairs() == before + 1
+    assert set(grid["Radix"]) == set(NETS)
+
+
+def test_speedup_table(campaign):
+    grid = campaign.run(networks=NETS, workloads=LOADS)
+    speedups = campaign.speedup_table(grid)
+    for workload in LOADS:
+        assert speedups[workload]["circuit_switched"] == 1.0
+        assert speedups[workload]["point_to_point"] > 1.0

@@ -1,0 +1,132 @@
+"""Tests for the circuit-switched torus adaptation."""
+
+import pytest
+
+from repro.networks.base import Packet
+from repro.core.engine import Simulator
+from repro.networks.circuit_switched import (
+    SWITCH_POINTS_PER_CROSSING,
+    CircuitSwitchedTorus,
+)
+
+
+@pytest.fixture
+def net(paper_config, sim):
+    return CircuitSwitchedTorus(paper_config, sim)
+
+
+def test_worst_case_path_is_31_switch_hops(net):
+    # section 4.5: "The worst case path in the network requires 31
+    # optical switch hops" — site 0 to the true torus diagonal (4, 4)
+    diagonal = net.config.layout.site_at(4, 4)
+    assert net.switch_hops(0, diagonal) == 31
+
+
+def test_neighbor_path_is_short(net):
+    assert net.switch_hops(0, 1) == SWITCH_POINTS_PER_CROSSING - 1
+
+
+def test_torus_wraparound_used(net):
+    # 0 -> 7 is one column hop on the torus
+    assert net.switch_hops(0, 7) == net.switch_hops(0, 1)
+
+
+def test_setup_dominates_small_transfers(net):
+    setup = net.setup_latency_ps(0, 9)
+    data_tx = 64 * 1000 // 320 // 1000  # ~0.2 ns at 320 GB/s
+    assert setup > 20 * data_tx
+
+
+def test_single_packet_latency(net, sim):
+    p = Packet(0, 1, 64)
+    net.inject(p)
+    sim.run()
+    setup = net.setup_latency_ps(0, 1)
+    ack = net.ack_latency_ps(0, 1)
+    flight = net.ack_latency_ps(0, 1)
+    tx = net._rx_port(1).serialization_ps(64)
+    assert p.t_deliver == setup + ack + tx + flight
+
+
+def test_engines_serialize_excess_setups(paper_config, sim):
+    net = CircuitSwitchedTorus(paper_config, sim, engines_per_site=1)
+    p1 = Packet(0, 1, 64)
+    p2 = Packet(0, 2, 64)
+    net.inject(p1)
+    net.inject(p2)
+    sim.run()
+    # with one engine the second circuit cannot start until the first
+    # completes its data phase
+    assert p2.t_deliver > p1.t_deliver + net.setup_latency_ps(0, 2)
+
+
+def test_parallel_engines_overlap_setups(net, sim):
+    """With the default engine count, a handful of circuits from one
+    site progress concurrently."""
+    packets = [Packet(0, dst, 64) for dst in range(1, 6)]
+    for p in packets:
+        net.inject(p)
+    sim.run()
+    times = sorted(p.t_deliver for p in packets)
+    serial_bound = sum(net.setup_latency_ps(0, d) for d in range(1, 6))
+    assert times[-1] < serial_bound  # clearly overlapped
+
+
+def test_circuit_count_tracked(net, sim):
+    for dst in (1, 2, 3):
+        net.inject(Packet(0, dst, 64))
+    sim.run()
+    assert net.circuits_established == 3
+
+
+def test_all_pairs_reachable(net, sim):
+    delivered = []
+    net.set_sink(delivered.append)
+    for dst in range(1, 64, 7):
+        net.inject(Packet(0, dst, 64))
+    sim.run()
+    assert len(delivered) == len(range(1, 64, 7))
+
+
+def test_rx_port_serializes_concurrent_arrivals(paper_config, sim):
+    """Two circuits landing at the same destination share its 320 GB/s
+    ingress: the data phases serialize."""
+    net = CircuitSwitchedTorus(paper_config, sim)
+    big = 32_768  # a large transfer so ingress contention is visible
+    p1 = Packet(1, 0, big)
+    p2 = Packet(2, 0, big)
+    net.inject(p1)
+    net.inject(p2)
+    sim.run()
+    first, second = sorted([p1.t_deliver, p2.t_deliver])
+    tx = net._rx_port(0).serialization_ps(big)
+    assert second - first >= tx // 2
+
+
+def test_large_transfers_amortize_setup(paper_config, sim):
+    """The paper's circuit-switched weakness is *small* transfers; a
+    large transfer's per-byte cost approaches the channel rate."""
+    net = CircuitSwitchedTorus(paper_config, sim)
+    small = Packet(0, 9, 64)
+    net.inject(small)
+    sim.run()
+    sim2 = Simulator()
+    net2 = CircuitSwitchedTorus(paper_config, sim2)
+    big = Packet(0, 9, 64 * 256)
+    net2.inject(big)
+    sim2.run()
+    small_ns_per_byte = small.t_deliver / 64
+    big_ns_per_byte = big.t_deliver / (64 * 256)
+    assert big_ns_per_byte < small_ns_per_byte / 20
+
+
+def test_teardown_frees_engine_after_data(paper_config, sim):
+    net = CircuitSwitchedTorus(paper_config, sim, engines_per_site=1)
+    p1 = Packet(0, 1, 64)
+    p2 = Packet(0, 1, 64)
+    net.inject(p1)
+    net.inject(p2)
+    sim.run()
+    # second circuit starts a full setup+data cycle after the first
+    cycle = (net.setup_latency_ps(0, 1) + net.ack_latency_ps(0, 1))
+    assert p2.t_deliver - p1.t_deliver >= cycle

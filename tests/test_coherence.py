@@ -1,0 +1,156 @@
+"""Tests for coherence operation records and message plans."""
+
+import pytest
+
+from repro.cpu.coherence import (
+    CoherenceOp,
+    LineState,
+    OpKind,
+    message_plan,
+)
+
+CTRL = 8
+DATA = 72
+DIR_CYC = 10
+MEM_CYC = 50
+
+
+def plan(op):
+    return message_plan(op, CTRL, DATA, DIR_CYC, MEM_CYC)
+
+
+def op(kind, requester=0, home=1, owner=None, sharers=()):
+    return CoherenceOp(core=0, gap_cycles=5, kind=kind, requester=requester,
+                       home=home, owner=owner, sharers=sharers)
+
+
+class TestValidation:
+    def test_gets_with_sharers_rejected(self):
+        with pytest.raises(ValueError):
+            op(OpKind.GET_S, sharers=(2,))
+
+    def test_self_owner_rejected(self):
+        with pytest.raises(ValueError):
+            op(OpKind.GET_S, requester=0, owner=0)
+
+
+class TestGetS:
+    def test_memory_supply(self):
+        steps = plan(op(OpKind.GET_S))
+        assert len(steps) == 2
+        req, data = steps
+        assert (req.src, req.dst, req.size_bytes) == (0, 1, CTRL)
+        assert (data.src, data.dst, data.size_bytes) == (1, 0, DATA)
+        assert data.depends_on == 0
+        assert data.extra_delay_cycles == DIR_CYC + MEM_CYC
+        assert data.completes
+
+    def test_cache_to_cache(self):
+        steps = plan(op(OpKind.GET_S, owner=5))
+        assert len(steps) == 3
+        req, fwd, data = steps
+        assert (fwd.src, fwd.dst) == (1, 5)
+        assert fwd.extra_delay_cycles == DIR_CYC  # no memory access
+        assert (data.src, data.dst) == (5, 0)
+        assert data.depends_on == 1
+        assert data.completes
+
+
+class TestGetM:
+    def test_no_sharers_memory_supply(self):
+        steps = plan(op(OpKind.GET_M))
+        assert len(steps) == 2
+        assert steps[1].completes
+
+    def test_sharers_fan_out(self):
+        steps = plan(op(OpKind.GET_M, sharers=(2, 3, 4)))
+        invs = [s for s in steps if s.kind == "inv"]
+        acks = [s for s in steps if s.kind == "ack"]
+        assert len(invs) == 3 and len(acks) == 3
+        for inv in invs:
+            assert inv.src == 1  # home broadcasts
+            assert inv.depends_on == 0
+        for ack in acks:
+            assert ack.dst == 0  # collected at the requester
+            assert ack.completes
+        # data still arrives and completes
+        assert steps[-1].kind == "data" and steps[-1].completes
+
+    def test_owner_supply_with_sharers(self):
+        steps = plan(op(OpKind.GET_M, owner=7, sharers=(2,)))
+        data = steps[-1]
+        assert data.src == 7 and data.dst == 0
+
+    def test_completion_count_matches_acks_plus_data(self):
+        steps = plan(op(OpKind.GET_M, sharers=(2, 3, 4)))
+        assert sum(1 for s in steps if s.completes) == 4
+
+
+class TestUpgrade:
+    def test_permission_only(self):
+        steps = plan(op(OpKind.UPGRADE, sharers=(2,)))
+        kinds = [s.kind for s in steps]
+        assert kinds == ["req", "inv", "ack", "perm"]
+        assert all(s.size_bytes == CTRL for s in steps)
+        perm = steps[-1]
+        assert perm.completes
+        assert perm.extra_delay_cycles == DIR_CYC
+
+
+class TestWriteback:
+    def test_single_data_message(self):
+        steps = plan(op(OpKind.WRITEBACK))
+        assert len(steps) == 1
+        wb = steps[0]
+        assert (wb.src, wb.dst, wb.size_bytes) == (0, 1, DATA)
+        assert wb.kind == "wb"
+
+
+def test_line_state_enum_members():
+    assert {s.value for s in LineState} == {"M", "O", "E", "S", "I"}
+
+
+class TestPlanProperties:
+    """Structural invariants of every message plan."""
+
+    from hypothesis import given, settings, strategies as st
+
+    kinds = st.sampled_from([OpKind.GET_S, OpKind.GET_M, OpKind.UPGRADE,
+                             OpKind.WRITEBACK])
+
+    @settings(max_examples=200, deadline=None)
+    @given(kind=kinds,
+           requester=st.integers(min_value=0, max_value=15),
+           home=st.integers(min_value=0, max_value=15),
+           owner=st.one_of(st.none(), st.integers(min_value=0, max_value=15)),
+           sharers=st.lists(st.integers(min_value=0, max_value=15),
+                            max_size=4, unique=True))
+    def test_plan_structure(self, kind, requester, home, owner, sharers):
+        if owner == requester:
+            owner = None
+        if kind in (OpKind.GET_S, OpKind.WRITEBACK):
+            sharers = []
+        if kind is OpKind.WRITEBACK:
+            owner = None
+        sharers = tuple(s for s in sharers if s != requester)
+        try:
+            o = op(kind, requester=requester, home=home, owner=owner,
+                   sharers=sharers)
+        except ValueError:
+            return
+        steps = plan(o)
+        # at least one step completes the operation
+        assert any(s.completes for s in steps)
+        # dependencies reference strictly earlier steps (acyclic chain)
+        for i, step in enumerate(steps):
+            if step.depends_on is not None:
+                assert 0 <= step.depends_on < i
+        # every invalidated sharer gets exactly one inv and one ack
+        invs = [s.dst for s in steps if s.kind == "inv"]
+        acks = [s.src for s in steps if s.kind == "ack"]
+        assert sorted(invs) == sorted(sharers)
+        assert sorted(acks) == sorted(sharers)
+        # data (if any) ends at the requester
+        for s in steps:
+            if s.kind == "data":
+                assert s.dst == requester

@@ -1,0 +1,106 @@
+"""Tests that Table 6 component counts come out exactly for the paper's
+8x8 scaled configuration."""
+
+import pytest
+
+from repro.macrochip.config import scaled_config
+from repro.networks.complexity import (
+    circuit_switched_count,
+    limited_p2p_count,
+    p2p_count,
+    table6_rows,
+    token_ring_count,
+    two_phase_arbitration_count,
+    two_phase_count,
+)
+
+
+class TestTable6PaperValues:
+    def test_point_to_point(self):
+        c = p2p_count()
+        assert c.transmitters == 8192
+        assert c.receivers == 8192
+        assert c.waveguides == 3072
+        assert c.switches == 0
+        assert c.laser_feeds == 8192
+        assert c.extra_loss_db == 0.0
+
+    def test_token_ring(self):
+        c = token_ring_count()
+        assert c.transmitters == 512 * 1024
+        assert c.receivers == 8192
+        assert c.waveguides == 32 * 1024
+        assert c.switches == 0
+        assert c.laser_feeds == 8192
+        assert c.extra_loss_db == pytest.approx(12.8)
+
+    def test_circuit_switched(self):
+        c = circuit_switched_count()
+        assert c.transmitters == 8192
+        assert c.receivers == 8192
+        assert c.waveguides == 2048
+        assert c.switches == 1024
+        assert "4x4" in c.switch_kind
+        assert c.extra_loss_db == pytest.approx(15.5)
+
+    def test_limited_point_to_point(self):
+        c = limited_p2p_count()
+        assert c.transmitters == 8192
+        assert c.receivers == 8192
+        assert c.waveguides == 3072
+        assert c.switches == 128
+        assert "electronic" in c.switch_kind
+
+    def test_two_phase_data(self):
+        c = two_phase_count()
+        assert c.transmitters == 8192
+        assert c.receivers == 8192
+        assert c.waveguides == 4096
+        assert c.switches == 16 * 1024
+        assert c.extra_loss_db == pytest.approx(7.0)
+
+    def test_two_phase_alt(self):
+        c = two_phase_count(alt=True)
+        assert c.transmitters == 16384
+        assert c.switches == 15 * 1024
+        assert c.laser_feeds == 16384
+        assert c.extra_loss_db == pytest.approx(6.0)
+
+    def test_two_phase_arbitration(self):
+        c = two_phase_arbitration_count()
+        assert c.transmitters == 128
+        assert c.receivers == 1024
+        assert c.waveguides == 24
+        assert c.laser_feeds == 128
+
+
+def test_table6_row_order_matches_paper():
+    names = [c.network for c in table6_rows()]
+    assert names == [
+        "Token-Ring",
+        "Point-to-Point",
+        "Circuit-Switched",
+        "Limited Point-to-Point",
+        "Two-Phase Data",
+        "Two-Phase Data (ALT)",
+        "Two-Phase Arbitration",
+    ]
+
+
+def test_p2p_has_lowest_active_component_count():
+    """Section 6.4's complexity conclusion: the point-to-point network is
+    the least complex optical network (fewest active optical parts among
+    full-connectivity networks)."""
+    rows = {c.network: c for c in table6_rows()}
+    p2p = rows["Point-to-Point"].total_active_components
+    for name in ["Token-Ring", "Circuit-Switched", "Two-Phase Data",
+                 "Two-Phase Data (ALT)"]:
+        assert p2p < rows[name].total_active_components
+
+
+def test_counts_scale_with_configuration():
+    small = scaled_config().with_overrides(
+        layout=scaled_config().layout.__class__(rows=4, cols=4))
+    c = p2p_count(small)
+    assert c.transmitters == 16 * 128
+    assert c.waveguides == 16 * 16 * 3

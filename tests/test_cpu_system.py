@@ -1,0 +1,166 @@
+"""Tests for the trace-driven CPU simulator."""
+
+from typing import Iterator, List
+
+import pytest
+
+from repro.cpu.coherence import OpKind
+from repro.cpu.system import CpuSimulator, generate_trace
+from repro.cpu.trace import MemoryRef
+from repro.macrochip.config import small_test_config
+from repro.workloads.kernels._base import line_addr
+
+
+class ScriptedKernel:
+    """A kernel whose per-core streams are given explicitly."""
+
+    name = "scripted"
+
+    def __init__(self, streams):
+        self._streams = streams
+
+    def core_streams(self, config):
+        n = config.num_cores
+        return [iter(self._streams.get(core, [])) for core in range(n)]
+
+
+@pytest.fixture
+def cfg():
+    return small_test_config(2, 2)  # 4 sites x 8 cores
+
+
+def ref(addr, write=False, gap=1):
+    return MemoryRef(gap, addr, write)
+
+
+def test_cold_read_is_gets(cfg):
+    addr = line_addr(1, 0, cfg.num_sites)
+    trace = generate_trace(ScriptedKernel({0: [ref(addr)]}), cfg)
+    ops = trace.ops_by_core[0]
+    assert len(ops) == 1
+    assert ops[0].kind is OpKind.GET_S
+    assert ops[0].requester == 0
+    assert ops[0].home == 1
+    assert ops[0].owner is None
+
+
+def test_second_access_hits_no_op(cfg):
+    addr = line_addr(1, 0, cfg.num_sites)
+    trace = generate_trace(ScriptedKernel({0: [ref(addr), ref(addr)]}), cfg)
+    assert len(trace.ops_by_core[0]) == 1
+    assert trace.l2_misses == 1
+    assert trace.total_references == 2
+
+
+def test_cold_write_is_getm(cfg):
+    addr = line_addr(1, 0, cfg.num_sites)
+    trace = generate_trace(ScriptedKernel({0: [ref(addr, write=True)]}), cfg)
+    assert trace.ops_by_core[0][0].kind is OpKind.GET_M
+
+
+def test_cross_site_read_finds_remote_owner(cfg):
+    """A line written by site 0's core and then read by site 1's core is
+    supplied cache-to-cache by site 0."""
+    addr = line_addr(2, 0, cfg.num_sites)
+    core_site1 = cfg.cores_per_site  # first core of site 1
+    trace = generate_trace(ScriptedKernel({
+        0: [ref(addr, write=True, gap=1)],
+        core_site1: [ref(addr, gap=100)],  # later in virtual time
+    }), cfg)
+    read_op = trace.ops_by_core[core_site1][0]
+    assert read_op.kind is OpKind.GET_S
+    assert read_op.owner == 0
+
+
+def test_write_after_remote_readers_invalidates_them(cfg):
+    addr = line_addr(3, 0, cfg.num_sites)
+    c1 = cfg.cores_per_site  # site 1
+    c2 = 2 * cfg.cores_per_site  # site 2
+    trace = generate_trace(ScriptedKernel({
+        0: [ref(addr, gap=1)],
+        c1: [ref(addr, gap=50)],
+        c2: [ref(addr, write=True, gap=200)],
+    }), cfg)
+    write_op = trace.ops_by_core[c2][0]
+    assert write_op.kind is OpKind.GET_M
+    covered = set(write_op.sharers)
+    if write_op.owner is not None:
+        covered.add(write_op.owner)
+    assert covered == {0, 1}
+
+
+def test_write_to_shared_line_is_upgrade(cfg):
+    addr = line_addr(1, 0, cfg.num_sites)
+    c1 = cfg.cores_per_site
+    trace = generate_trace(ScriptedKernel({
+        0: [ref(addr, gap=1)],
+        c1: [ref(addr, gap=50), ref(addr, write=True, gap=100)],
+    }), cfg)
+    ops = trace.ops_by_core[c1]
+    assert [o.kind for o in ops] == [OpKind.GET_S, OpKind.UPGRADE]
+
+
+def test_silent_exclusive_to_modified_upgrade(cfg):
+    """A write hit on a line this site holds Exclusive produces no
+    network operation."""
+    addr = line_addr(1, 0, cfg.num_sites)
+    trace = generate_trace(ScriptedKernel({
+        0: [ref(addr, gap=1), ref(addr, write=True, gap=2)],
+    }), cfg)
+    assert [o.kind for o in trace.ops_by_core[0]] == [OpKind.GET_S]
+
+
+def test_dirty_eviction_emits_writeback(cfg):
+    """Filling a set with dirty lines forces a writeback op."""
+    sim = CpuSimulator(cfg)
+    cache = sim.caches[0]
+    ways = cache.ways
+    # find addresses all mapping to one (hashed) set of site 0's cache
+    target = cache.set_index(0)
+    addrs, line = [0], 1
+    while len(addrs) < ways + 1:
+        addr = line * cache.line_bytes
+        if cache.set_index(addr) == target:
+            addrs.append(addr)
+        line += 1
+    refs = [ref(a, write=True, gap=1) for a in addrs]
+    trace = sim.run(ScriptedKernel({0: refs}))
+    kinds = [o.kind for o in trace.ops_by_core[0]]
+    assert OpKind.WRITEBACK in kinds
+
+
+def test_gap_cycles_accumulate_compute_time(cfg):
+    a1 = line_addr(1, 0, cfg.num_sites)
+    a2 = line_addr(1, 64, cfg.num_sites)
+    trace = generate_trace(ScriptedKernel({
+        0: [ref(a1, gap=10), ref(a2, gap=30)],
+    }), cfg)
+    ops = trace.ops_by_core[0]
+    assert ops[0].gap_cycles == 10
+    assert ops[1].gap_cycles >= 30  # includes nominal miss time
+
+
+def test_miss_rate_accounting(cfg):
+    addr = line_addr(1, 0, cfg.num_sites)
+    trace = generate_trace(ScriptedKernel({
+        0: [ref(addr, gap=9), ref(addr, gap=9)],
+    }), cfg)
+    # 1 miss over 20 instructions
+    assert trace.miss_rate == pytest.approx(1 / 20)
+
+
+def test_stream_count_must_match_cores(cfg):
+    class BadKernel:
+        name = "bad"
+
+        def core_streams(self, config):
+            return [iter([])]
+
+    with pytest.raises(ValueError):
+        generate_trace(BadKernel(), cfg)
+
+
+def test_kind_histogram(cfg):
+    addr = line_addr(1, 0, cfg.num_sites)
+    trace = generate_trace(ScriptedKernel({0: [ref(addr)]}), cfg)
+    assert trace.kind_histogram() == {"GetS": 1}

@@ -1,0 +1,148 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.engine import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order(sim):
+    fired = []
+    sim.at(300, fired.append, "c")
+    sim.at(100, fired.append, "a")
+    sim.at(200, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_schedule_order(sim):
+    fired = []
+    for tag in "abcde":
+        sim.at(50, fired.append, tag)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_now_advances_to_event_time(sim):
+    seen = []
+    sim.at(123, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [123]
+    assert sim.now == 123
+
+
+def test_schedule_is_relative_to_now(sim):
+    seen = []
+
+    def first():
+        sim.schedule(50, lambda: seen.append(sim.now))
+
+    sim.at(100, first)
+    sim.run()
+    assert seen == [150]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_scheduling_in_the_past_rejected(sim):
+    sim.at(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(50, lambda: None)
+
+
+def test_stop_halts_dispatch(sim):
+    fired = []
+    sim.at(10, fired.append, 1)
+    sim.at(20, lambda: sim.stop())
+    sim.at(30, fired.append, 3)
+    sim.run()
+    assert fired == [1]
+    assert sim.pending() == 1
+
+
+def test_run_until_horizon_leaves_later_events(sim):
+    fired = []
+    sim.at(10, fired.append, 1)
+    sim.at(1000, fired.append, 2)
+    dispatched = sim.run(until_ps=500)
+    assert fired == [1]
+    assert dispatched == 1
+    assert sim.pending() == 1
+    assert sim.now == 500  # clock advanced to the horizon
+
+
+def test_run_after_horizon_resumes(sim):
+    fired = []
+    sim.at(1000, fired.append, 2)
+    sim.run(until_ps=500)
+    sim.run()
+    assert fired == [2]
+
+
+def test_events_scheduled_during_run_are_dispatched(sim):
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(10, chain, n + 1)
+
+    sim.at(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+
+
+def test_run_returns_dispatch_count(sim):
+    for i in range(7):
+        sim.at(i, lambda: None)
+    assert sim.run() == 7
+
+
+def test_reentrant_run_rejected(sim):
+    def bad():
+        sim.run()
+
+    sim.at(1, bad)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_trace_hook_sees_every_event(sim):
+    seen = []
+    sim.trace = lambda t, fn, args: seen.append(t)
+    sim.at(5, lambda: None)
+    sim.at(9, lambda: None)
+    sim.run()
+    assert seen == [5, 9]
+
+
+def test_empty_run_is_noop(sim):
+    assert sim.run() == 0
+    assert sim.now == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1,
+                max_size=50))
+def test_dispatch_order_is_sorted_for_any_schedule(times):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.at(t, fired.append, t)
+    sim.run()
+    assert fired == sorted(times)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                max_size=30), st.integers(min_value=0, max_value=1000))
+def test_horizon_partitions_events(times, horizon):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.at(t, fired.append, t)
+    sim.run(until_ps=horizon)
+    assert fired == sorted(t for t in times if t <= horizon)
+    assert sim.pending() == sum(1 for t in times if t > horizon)

@@ -1,0 +1,43 @@
+"""Smoke tests for the example scripts.
+
+Each example must parse, import, and expose a ``main``.  Full runs are
+exercised manually (they simulate the 8x8 macrochip and take seconds to
+minutes); these tests keep them from rotting against API changes by
+compiling them and checking their imports resolve.
+"""
+
+import importlib.util
+import os
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLE_FILES}
+    assert "quickstart" in names
+    assert len(EXAMPLE_FILES) >= 3  # the deliverable floor
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    module = _load(path)
+    assert hasattr(module, "main"), "%s lacks a main()" % path.stem
+    assert callable(module.main)
+    assert module.__doc__, "%s lacks a module docstring" % path.stem
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_mentions_run_instructions(path):
+    text = path.read_text()
+    assert "Run:" in text, "%s should document how to run it" % path.stem

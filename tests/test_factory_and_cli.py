@@ -1,0 +1,90 @@
+"""Tests for the network factory and the experiment CLI plumbing."""
+
+import os
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.macrochip.config import small_test_config
+from repro.networks.factory import (
+    FIGURE6_NETWORKS,
+    FIGURE7_NETWORKS,
+    NETWORK_CLASSES,
+    available_networks,
+    build_network,
+)
+
+
+class TestFactory:
+    def test_all_keys_buildable(self, small_config):
+        for key in available_networks():
+            net = build_network(key, small_config, Simulator())
+            assert net.name == NETWORK_CLASSES[key].name
+
+    def test_unknown_key_lists_options(self, small_config):
+        with pytest.raises(KeyError) as err:
+            build_network("warp_drive", small_config, Simulator())
+        assert "point_to_point" in str(err.value)
+
+    def test_figure_lists(self):
+        assert len(FIGURE6_NETWORKS) == 5
+        assert len(FIGURE7_NETWORKS) == 6
+        assert "two_phase_alt" not in FIGURE6_NETWORKS
+        assert "two_phase_alt" in FIGURE7_NETWORKS
+
+    def test_kwargs_forwarded(self, small_config):
+        net = build_network("two_phase", small_config, Simulator(),
+                            tree_reconfig_ps=1234)
+        assert net.tree_reconfig_ps == 1234
+
+    def test_warmup_forwarded(self, small_config):
+        net = build_network("point_to_point", small_config, Simulator(),
+                            warmup_ps=777)
+        assert net.stats.throughput.warmup_ps == 777
+
+
+class TestRunCli:
+    def test_generate_tables_only(self):
+        from repro.experiments.run import generate
+
+        out = generate("tables", "smoke", window_ns=100.0)
+        assert set(out) == {"tables"}
+        assert "Table 5" in out["tables"]
+
+    def test_generate_rejects_unknown_artifact(self):
+        from repro.experiments.run import generate
+
+        with pytest.raises(SystemExit):
+            generate("bogus", "smoke", window_ns=100.0)
+
+    def test_main_writes_output_files(self, tmp_path):
+        from repro.experiments.run import main
+
+        rc = main(["--artifact", "tables", "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "tables.txt").exists()
+        assert "Table 6" in (tmp_path / "tables.txt").read_text()
+
+
+class TestTaxonomy:
+    """Section 4.1's classification of optical network architectures."""
+
+    def test_every_network_is_classified(self, small_config):
+        expected = {
+            "point_to_point": "none",
+            "electrical_baseline": "none",
+            "limited_point_to_point": "electronic",
+            "two_phase": "arbitrated",
+            "two_phase_alt": "arbitrated",
+            "token_ring": "arbitrated",
+            "circuit_switched": "circuit",
+        }
+        for key, cls_name in expected.items():
+            net = build_network(key, small_config, Simulator())
+            assert net.switching_class == cls_name, key
+
+    def test_only_p2p_designs_need_no_switching_or_routing(self, small_config):
+        unswitched = [k for k in available_networks()
+                      if build_network(k, small_config,
+                                       Simulator()).switching_class == "none"]
+        assert unswitched == ["electrical_baseline", "point_to_point"]

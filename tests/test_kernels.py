@@ -1,0 +1,186 @@
+"""Tests for the application-kernel workload models."""
+
+import pytest
+
+from repro.cpu.system import generate_trace
+from repro.cpu.coherence import OpKind
+from repro.macrochip.config import small_test_config
+from repro.workloads.kernels import (
+    FIGURE7_KERNELS,
+    BarnesKernel,
+    BlackscholesKernel,
+    FluidanimateDensitiesKernel,
+    FluidanimateForcesKernel,
+    RadixKernel,
+    SwaptionsKernel,
+)
+from repro.workloads.kernels._base import PAGE_LINES, KernelBase, line_addr
+
+
+CFG = small_test_config(4, 4)
+
+
+def trace_of(kernel_cls, refs=120):
+    return generate_trace(kernel_cls(refs_per_core=refs), CFG)
+
+
+class TestLineAddr:
+    def test_home_site_respected(self):
+        from repro.cpu.directory import Directory
+
+        d = Directory(CFG.num_sites)
+        for home in range(CFG.num_sites):
+            for block in (0, 1, 63, 64, 1000):
+                addr = line_addr(home, block, CFG.num_sites)
+                assert d.home_site(addr) == home
+
+    def test_blocks_are_distinct_lines(self):
+        addrs = {line_addr(3, b, 16) for b in range(500)}
+        assert len(addrs) == 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_addr(16, 0, 16)
+        with pytest.raises(ValueError):
+            line_addr(0, -1, 16)
+
+    def test_addresses_spread_over_cache_sets(self):
+        """Page-granularity interleave must not alias all same-home lines
+        into a few cache sets (the bug class this helper guards against)."""
+        from repro.cpu.cache import SetAssociativeCache
+
+        cache = SetAssociativeCache(256 * 1024, 64, 8)
+        sets = {cache.set_index(line_addr(5, b, 16)) for b in range(512)}
+        assert len(sets) > 100
+
+
+class TestKernelBase:
+    def test_refs_per_core_override(self):
+        k = RadixKernel(refs_per_core=50)
+        assert k.refs_per_core == 50
+        with pytest.raises(ValueError):
+            RadixKernel(refs_per_core=0)
+
+    def test_streams_are_per_core(self):
+        k = RadixKernel(refs_per_core=10)
+        streams = k.core_streams(CFG)
+        assert len(streams) == CFG.num_cores
+
+    def test_deterministic_streams(self):
+        a = list(RadixKernel(refs_per_core=20)._stream(3, CFG))
+        b = list(RadixKernel(refs_per_core=20)._stream(3, CFG))
+        assert [(r.addr, r.write) for r in a] == [(r.addr, r.write) for r in b]
+
+
+@pytest.mark.parametrize("kernel_cls", FIGURE7_KERNELS)
+def test_every_kernel_produces_coherence_traffic(kernel_cls):
+    trace = trace_of(kernel_cls)
+    assert trace.total_ops > 0
+    assert trace.total_references == CFG.num_cores * kernel_cls(
+        refs_per_core=120).refs_per_core
+    assert 0.0 < trace.miss_rate < 0.5
+
+
+@pytest.mark.parametrize("kernel_cls", FIGURE7_KERNELS)
+def test_every_kernel_has_remote_traffic(kernel_cls):
+    """A kernel that only talks to its own site would not exercise the
+    network at all."""
+    trace = trace_of(kernel_cls)
+    remote = sum(1 for ops in trace.ops_by_core for op in ops
+                 if op.home != op.requester)
+    assert remote > 0
+
+
+def test_radix_is_write_dominated():
+    hist = trace_of(RadixKernel).kind_histogram()
+    assert hist.get("GetM", 0) > hist.get("GetS", 0)
+
+
+def test_barnes_has_lowest_miss_rate():
+    rates = {k.name: trace_of(k).miss_rate for k in FIGURE7_KERNELS}
+    assert rates["Barnes"] == min(rates.values())
+
+
+def test_blackscholes_mostly_reads():
+    hist = trace_of(BlackscholesKernel).kind_histogram()
+    assert hist.get("GetS", 0) > 3 * hist.get("GetM", 0)
+
+
+def test_forces_writes_more_than_densities():
+    f = trace_of(FluidanimateForcesKernel).kind_histogram()
+    d = trace_of(FluidanimateDensitiesKernel).kind_histogram()
+    f_frac = f.get("GetM", 0) / max(1, sum(f.values()))
+    d_frac = d.get("GetM", 0) / max(1, sum(d.values()))
+    assert f_frac > d_frac
+
+
+def test_fluidanimate_traffic_is_neighbor_heavy():
+    trace = trace_of(FluidanimateDensitiesKernel)
+    layout = CFG.layout
+    neighbor_ops = 0
+    far_ops = 0
+    for ops in trace.ops_by_core:
+        for op in ops:
+            if op.home == op.requester:
+                continue
+            hr, hc = layout.torus_hop_counts(op.requester, op.home)
+            if hr + hc <= 2:
+                neighbor_ops += 1
+            else:
+                far_ops += 1
+    assert neighbor_ops > 3 * far_ops
+
+
+def test_swaptions_produces_invalidation_traffic():
+    trace = trace_of(SwaptionsKernel, refs=200)
+    invs = sum(len(op.sharers) for ops in trace.ops_by_core for op in ops
+               if op.kind in (OpKind.GET_M, OpKind.UPGRADE))
+    assert invs > 0
+
+
+def test_kernel_names_match_figure7_columns():
+    assert [k.name for k in FIGURE7_KERNELS] == [
+        "Radix", "Barnes", "Blackscholes", "Densities", "Forces",
+        "Swaptions"]
+
+
+class TestExtensionKernels:
+    """FFT and LU are extensions beyond the paper's six kernels."""
+
+    def test_registry(self):
+        from repro.workloads.kernels import EXTENSION_KERNELS, FftKernel, LuKernel
+
+        assert EXTENSION_KERNELS == [FftKernel, LuKernel]
+        # extensions stay out of the paper's Figure 7 column set
+        assert FftKernel not in FIGURE7_KERNELS
+
+    def test_fft_transpose_is_all_to_all(self):
+        from repro.workloads.kernels import FftKernel
+
+        trace = trace_of(FftKernel, refs=300)
+        homes = set()
+        for ops in trace.ops_by_core:
+            for op in ops:
+                if op.kind is OpKind.GET_M:
+                    homes.add(op.home)
+        assert len(homes) == CFG.num_sites  # transpose touches everyone
+
+    def test_lu_pivot_reads_are_widely_shared(self):
+        from repro.workloads.kernels import LuKernel
+
+        trace = trace_of(LuKernel, refs=400)
+        # some write must invalidate multiple sharers (the pivot block
+        # accumulating readers before the owner's next factorization)
+        max_fanout = max(
+            (len(op.sharers) for ops in trace.ops_by_core for op in ops),
+            default=0)
+        assert max_fanout >= 3
+
+    def test_extensions_replay_end_to_end(self):
+        from repro.cpu.system import generate_trace
+        from repro.workloads.kernels import FftKernel
+        from repro.workloads.replay import replay
+
+        trace = generate_trace(FftKernel(refs_per_core=120), CFG)
+        result = replay(trace, "point_to_point", CFG)
+        assert result.ops_completed > 0

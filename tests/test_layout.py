@@ -1,0 +1,107 @@
+"""Tests for macrochip layout geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.photonics.layout import DEFAULT_LAYOUT, MacrochipLayout
+
+
+def test_default_is_8x8():
+    assert DEFAULT_LAYOUT.num_sites == 64
+    assert DEFAULT_LAYOUT.rows == 8
+    assert DEFAULT_LAYOUT.cols == 8
+
+
+def test_coords_row_major():
+    assert DEFAULT_LAYOUT.coords(0) == (0, 0)
+    assert DEFAULT_LAYOUT.coords(7) == (0, 7)
+    assert DEFAULT_LAYOUT.coords(8) == (1, 0)
+    assert DEFAULT_LAYOUT.coords(63) == (7, 7)
+
+
+def test_coords_rejects_bad_site():
+    with pytest.raises(ValueError):
+        DEFAULT_LAYOUT.coords(64)
+    with pytest.raises(ValueError):
+        DEFAULT_LAYOUT.coords(-1)
+
+
+def test_site_at_wraps():
+    assert DEFAULT_LAYOUT.site_at(-1, 0) == 56
+    assert DEFAULT_LAYOUT.site_at(0, 8) == 0
+    assert DEFAULT_LAYOUT.site_at(3, 5) == 29
+
+
+def test_bad_layout_rejected():
+    with pytest.raises(ValueError):
+        MacrochipLayout(rows=0)
+    with pytest.raises(ValueError):
+        MacrochipLayout(site_pitch_cm=0.0)
+
+
+def test_manhattan_distance():
+    # corner to corner: (7+7) * 2 cm = 28 cm
+    assert DEFAULT_LAYOUT.manhattan_distance_cm(0, 63) == pytest.approx(28.0)
+    assert DEFAULT_LAYOUT.manhattan_distance_cm(0, 1) == pytest.approx(2.0)
+    assert DEFAULT_LAYOUT.manhattan_distance_cm(5, 5) == 0.0
+
+
+def test_propagation_delay_corner_to_corner():
+    # 28 cm at 0.1 ns/cm = 2.8 ns
+    assert DEFAULT_LAYOUT.propagation_delay_ps(0, 63) == 2800
+
+
+def test_torus_wraparound_shortens_hops():
+    # sites 0 and 7 are 7 apart in the mesh but 1 apart on the torus
+    assert DEFAULT_LAYOUT.torus_hop_counts(0, 7) == (0, 1)
+    assert DEFAULT_LAYOUT.torus_hop_counts(0, 63) == (1, 1)
+    assert DEFAULT_LAYOUT.torus_hop_counts(0, 36) == (4, 4)  # true diagonal
+
+
+def test_spans():
+    assert DEFAULT_LAYOUT.row_span_cm == pytest.approx(14.0)
+    assert DEFAULT_LAYOUT.col_span_cm == pytest.approx(14.0)
+    assert DEFAULT_LAYOUT.worst_case_distance_cm == pytest.approx(28.0)
+
+
+def test_snake_ring_round_trip_near_80_cycles():
+    # the paper scales Corona's token round trip to 80 cycles (16 ns);
+    # the serpentine ring over the 8x8 layout gives 154 cm ~ 15.4 ns
+    length = DEFAULT_LAYOUT.snake_ring_length_cm()
+    assert 140.0 <= length <= 170.0
+
+
+def test_snake_positions_are_boustrophedon():
+    # row 0 left-to-right, row 1 right-to-left
+    assert DEFAULT_LAYOUT.snake_position(0) == 0
+    assert DEFAULT_LAYOUT.snake_position(7) == 7
+    assert DEFAULT_LAYOUT.snake_position(15) == 8  # (1,7) follows (0,7)
+    assert DEFAULT_LAYOUT.snake_position(8) == 15
+
+
+@given(st.integers(min_value=0, max_value=63))
+def test_snake_position_roundtrip(site):
+    layout = DEFAULT_LAYOUT
+    assert layout.snake_site(layout.snake_position(site)) == site
+
+
+@given(st.integers(min_value=0, max_value=63),
+       st.integers(min_value=0, max_value=63))
+def test_distance_symmetry(a, b):
+    layout = DEFAULT_LAYOUT
+    assert layout.manhattan_distance_cm(a, b) == layout.manhattan_distance_cm(b, a)
+    assert layout.torus_distance_cm(a, b) == layout.torus_distance_cm(b, a)
+
+
+@given(st.integers(min_value=0, max_value=63),
+       st.integers(min_value=0, max_value=63))
+def test_torus_never_longer_than_mesh(a, b):
+    layout = DEFAULT_LAYOUT
+    assert layout.torus_distance_cm(a, b) <= layout.manhattan_distance_cm(a, b)
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+def test_snake_positions_are_a_permutation(rows, cols):
+    layout = MacrochipLayout(rows=rows, cols=cols)
+    positions = {layout.snake_position(s) for s in range(layout.num_sites)}
+    assert positions == set(range(layout.num_sites))

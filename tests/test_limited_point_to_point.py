@@ -1,0 +1,100 @@
+"""Tests for the limited point-to-point network with electronic routing."""
+
+import pytest
+
+from repro.networks.base import Packet
+from repro.networks.limited_point_to_point import LimitedPointToPointNetwork
+
+
+@pytest.fixture
+def net(paper_config, sim):
+    return LimitedPointToPointNetwork(paper_config, sim)
+
+
+def test_channel_is_20gb_per_s(net):
+    # section 4.6: 20 GB/s direct channels to row/column peers
+    assert net.channel_gb_per_s == pytest.approx(20.0)
+    assert net.channel_wavelengths == 8
+
+
+def test_peer_relation(net):
+    assert net.is_peer(0, 7)  # same row
+    assert net.is_peer(0, 56)  # same column
+    assert not net.is_peer(0, 9)  # diagonal
+    assert not net.is_peer(5, 5)  # self
+
+
+def test_forwarder_candidates_are_peers_of_both(net):
+    a, b = net.forwarder_candidates(0, 9)  # (0,0) -> (1,1)
+    assert {a, b} == {1, 8}
+    for via in (a, b):
+        assert net.is_peer(0, via)
+        assert net.is_peer(via, 9)
+
+
+def test_direct_channel_refused_for_non_peers(net):
+    with pytest.raises(ValueError):
+        net.channel(0, 9)
+
+
+def test_peer_traffic_is_single_hop(net, sim):
+    delivered = []
+    net.set_sink(delivered.append)
+    p = Packet(0, 7, 64)
+    net.inject(p)
+    sim.run()
+    # 64 B at 20 GB/s = 3.2 ns + 7 sites x 2 cm = 1.4 ns flight
+    assert p.t_deliver == 3200 + 1400
+    assert p.hops == 1
+    assert net.direct_packets == 1
+    assert net.forwarded_packets == 0
+
+
+def test_non_peer_traffic_takes_one_electronic_hop(net, sim):
+    p = Packet(0, 9, 64)
+    net.inject(p)
+    sim.run()
+    assert p.hops == 2
+    assert net.forwarded_packets == 1
+    # two optical legs + the router/conversion latency
+    expected = 2 * (3200 + 200) + net.router_latency_ps
+    assert p.t_deliver == expected
+
+
+def test_forwarded_packet_charged_router_energy(net, sim):
+    net.inject(Packet(0, 9, 64))
+    sim.run()
+    # 64 B x 60 pJ/B = 3840 pJ
+    assert net.stats.energy.get("router") == pytest.approx(3840.0)
+
+
+def test_direct_packet_not_charged_router_energy(net, sim):
+    net.inject(Packet(0, 7, 64))
+    sim.run()
+    assert net.stats.energy.get("router") == 0.0
+
+
+def test_adaptive_forwarder_avoids_busy_leg(net, sim):
+    # clog the channel 0 -> 1 so the 0 -> 8 -> 9 route is preferred
+    for _ in range(50):
+        net.inject(Packet(0, 1, 64))
+    p = Packet(0, 9, 64)
+    net.inject(p)
+    sim.run()
+    # the packet must still arrive, and faster than behind the clog
+    assert p.t_deliver < 50 * 3200
+
+
+def test_conversion_overhead_configurable(paper_config, sim):
+    net = LimitedPointToPointNetwork(paper_config, sim,
+                                     conversion_overhead_cycles=0)
+    assert net.router_latency_ps == paper_config.cycles_ps(1)
+
+
+def test_every_pair_is_reachable(net, sim):
+    delivered = []
+    net.set_sink(delivered.append)
+    for dst in range(1, 64):
+        net.inject(Packet(0, dst, 64))
+    sim.run()
+    assert len(delivered) == 63

@@ -1,0 +1,101 @@
+"""Tests for the message-passing workload extension."""
+
+import pytest
+
+from repro.macrochip.config import small_test_config
+from repro.workloads.message_passing import (
+    MESSAGE_PASSING_WORKLOADS,
+    MessagePassingRunner,
+    all_reduce,
+    all_to_all,
+    halo_exchange,
+    ring_shift,
+    run_message_passing,
+)
+
+CFG = small_test_config(4, 4)
+
+
+class TestSchedules:
+    def test_ring_shift_shape(self):
+        w = ring_shift(CFG, rounds=3, block_bytes=128)
+        assert w.num_rounds == 3
+        assert w.total_bytes() == 3 * CFG.num_sites * 128
+        # every site sends to its successor
+        for site, sends in enumerate(w.rounds[0]):
+            assert sends == [((site + 1) % CFG.num_sites, 128)]
+
+    def test_halo_exchange_targets_grid_neighbors(self):
+        w = halo_exchange(CFG, rounds=1)
+        layout = CFG.layout
+        for site, sends in enumerate(w.rounds[0]):
+            assert len(sends) == 4
+            for dst, _ in sends:
+                hr, hc = layout.torus_hop_counts(site, dst)
+                assert hr + hc == 1
+
+    def test_all_to_all_covers_everyone(self):
+        w = all_to_all(CFG, rounds=1, slice_bytes=64)
+        for site, sends in enumerate(w.rounds[0]):
+            dests = {d for d, _ in sends}
+            assert dests == set(range(CFG.num_sites)) - {site}
+
+    def test_all_reduce_is_log_rounds(self):
+        w = all_reduce(CFG, vector_bytes=256, repeats=1)
+        assert w.num_rounds == 4  # log2(16)
+        # round r pairs sites at stride 2^r
+        for r, rnd in enumerate(w.rounds):
+            for site, sends in enumerate(rnd):
+                assert sends == [(site ^ (1 << r), 256)]
+
+    def test_all_reduce_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            all_reduce(small_test_config(3, 3))
+
+
+class TestRunner:
+    def test_segmentation(self):
+        runner = MessagePassingRunner(ring_shift(CFG, rounds=1,
+                                                 block_bytes=200),
+                                      "point_to_point", CFG,
+                                      segment_bytes=64)
+        assert runner._segments(200) == [64, 64, 64, 8]
+        assert runner._segments(64) == [64]
+
+    def test_invalid_segment_size(self):
+        with pytest.raises(ValueError):
+            MessagePassingRunner(ring_shift(CFG, rounds=1),
+                                 "point_to_point", CFG, segment_bytes=0)
+
+    def test_ring_shift_runs_to_completion(self):
+        result = run_message_passing("ring_shift", "point_to_point", CFG,
+                                     rounds=3, block_bytes=256)
+        assert result.rounds == 3
+        assert result.bytes_moved == 3 * CFG.num_sites * 256
+        assert result.messages == 3 * CFG.num_sites * 4  # 256/64 segments
+        assert result.runtime_ps > 0
+        assert result.effective_bandwidth_gb_per_s > 0
+
+    def test_rounds_are_barrier_ordered(self):
+        """More rounds cannot be faster than fewer rounds."""
+        one = run_message_passing("ring_shift", "point_to_point", CFG,
+                                  rounds=1, block_bytes=512)
+        four = run_message_passing("ring_shift", "point_to_point", CFG,
+                                   rounds=4, block_bytes=512)
+        assert four.runtime_ps > one.runtime_ps
+
+    def test_all_networks_run_halo_exchange(self):
+        from repro.networks.factory import FIGURE6_NETWORKS
+
+        for net in FIGURE6_NETWORKS:
+            result = run_message_passing("halo_exchange", net, CFG,
+                                         rounds=1, face_bytes=256)
+            assert result.bytes_moved == CFG.num_sites * 4 * 256, net
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            run_message_passing("bogus", "point_to_point", CFG)
+
+    def test_registry_names(self):
+        assert set(MESSAGE_PASSING_WORKLOADS) == {
+            "ring_shift", "halo_exchange", "all_to_all", "all_reduce"}

@@ -1,0 +1,80 @@
+"""Property-based tests over all network architectures.
+
+Invariants every network must satisfy for arbitrary traffic:
+
+* conservation — every injected packet is delivered exactly once;
+* causality — delivery never precedes injection plus the physical
+  minimum (serialization of one byte);
+* determinism — identical traffic produces identical delivery times.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import Simulator
+from repro.macrochip.config import small_test_config
+from repro.networks.base import Packet
+from repro.networks.factory import NETWORK_CLASSES, build_network
+
+CFG = small_test_config(4, 4)
+
+#: (delay_ps, src, dst, size) batches
+traffic_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=20_000),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+        st.sampled_from([8, 64, 72]),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+def _run(network_key, traffic):
+    sim = Simulator()
+    net = build_network(network_key, CFG, sim)
+    delivered = []
+    net.set_sink(lambda p: delivered.append((p.pid, p.t_deliver)))
+    packets = []
+    for delay, src, dst, size in traffic:
+        p = Packet(src, dst, size)
+        packets.append(p)
+        sim.at(delay, net.inject, p)
+    sim.run()
+    return packets, delivered
+
+
+@settings(max_examples=25, deadline=None)
+@given(traffic=traffic_strategy,
+       network_key=st.sampled_from(sorted(NETWORK_CLASSES)))
+def test_conservation_and_causality(network_key, traffic):
+    packets, delivered = _run(network_key, traffic)
+    # exactly-once delivery
+    assert len(delivered) == len(packets)
+    assert len({pid for pid, _ in delivered}) == len(packets)
+    for p in packets:
+        assert p.t_deliver >= p.t_inject >= 0
+        if p.src != p.dst:
+            assert p.t_deliver > p.t_inject
+
+
+@settings(max_examples=10, deadline=None)
+@given(traffic=traffic_strategy,
+       network_key=st.sampled_from(sorted(NETWORK_CLASSES)))
+def test_deterministic_delivery_times(network_key, traffic):
+    _, first = _run(network_key, traffic)
+    _, second = _run(network_key, traffic)
+    assert sorted(t for _, t in first) == sorted(t for _, t in second)
+
+
+@settings(max_examples=15, deadline=None)
+@given(traffic=traffic_strategy)
+def test_stats_agree_with_sink(traffic):
+    sim = Simulator()
+    net = build_network("point_to_point", CFG, sim)
+    seen = []
+    net.set_sink(seen.append)
+    for delay, src, dst, size in traffic:
+        sim.at(delay, net.inject, Packet(src, dst, size))
+    sim.run()
+    assert net.stats.injected_packets == len(traffic)
+    assert net.stats.delivered_packets == len(seen)

@@ -1,0 +1,148 @@
+"""Integration tests: the paper's headline claims, at reduced scale.
+
+These run the real experiment pipeline with small workloads on the full
+8x8 configuration (the network mechanisms under test are scale-
+sensitive), asserting the *orderings and ratios* section 6 reports —
+the reproduction contract spelled out in DESIGN.md.
+"""
+
+import pytest
+
+from repro.core.sweep import run_load_point
+from repro.macrochip.config import scaled_config
+from repro.workloads.replay import replay
+from repro.workloads.sharing import mix_by_name
+from repro.workloads.synthetic import make_pattern
+from repro.workloads.synthetic_coherence import (
+    SyntheticCoherenceSpec,
+    generate_synthetic_trace,
+)
+
+CFG = scaled_config()
+PEAK = CFG.num_sites * CFG.site_bandwidth_gb_per_s
+
+
+def sustained(network, pattern_key, fraction, window_ns=400.0, **kwargs):
+    r = run_load_point(network, CFG, make_pattern(pattern_key, CFG.layout),
+                       fraction, window_ns=window_ns, **kwargs)
+    return r
+
+
+class TestFigure6Claims:
+    """Section 6.1 saturation behaviour."""
+
+    def test_p2p_sustains_most_of_peak_on_uniform(self):
+        r = sustained("point_to_point", "uniform", 0.90, window_ns=600)
+        assert r.throughput_gb_per_s / PEAK > 0.80
+
+    def test_limited_p2p_saturates_near_half(self):
+        ok = sustained("limited_point_to_point", "uniform", 0.42,
+                       window_ns=600)
+        assert not ok.saturated
+        over = sustained("limited_point_to_point", "uniform", 0.70,
+                         window_ns=600)
+        assert over.throughput_gb_per_s / PEAK < 0.60
+
+    def test_token_ring_saturates_near_40_percent(self):
+        ok = sustained("token_ring", "uniform", 0.35, window_ns=600)
+        assert not ok.saturated
+        over = sustained("token_ring", "uniform", 0.80, window_ns=600)
+        assert over.throughput_gb_per_s / PEAK < 0.50
+
+    def test_two_phase_saturates_below_15_percent(self):
+        over = sustained("two_phase", "uniform", 0.30, window_ns=600)
+        assert over.throughput_gb_per_s / PEAK < 0.20
+
+    def test_circuit_switched_saturates_lowest(self):
+        over = sustained("circuit_switched", "uniform", 0.06, window_ns=600)
+        assert over.throughput_gb_per_s / PEAK < 0.04
+
+    def test_uniform_saturation_ordering(self):
+        """P2P > limited P2P ~ token ring > two-phase > circuit-switched."""
+        loads = {"point_to_point": 0.95, "limited_point_to_point": 0.70,
+                 "token_ring": 0.70, "two_phase": 0.30,
+                 "circuit_switched": 0.30}
+        sust = {net: sustained(net, "uniform", f, window_ns=500)
+                .throughput_gb_per_s / PEAK
+                for net, f in loads.items()}
+        assert sust["point_to_point"] > sust["limited_point_to_point"]
+        assert sust["limited_point_to_point"] > sust["two_phase"]
+        assert sust["token_ring"] > sust["two_phase"]
+        assert sust["two_phase"] > sust["circuit_switched"]
+
+    def test_p2p_transpose_capped_at_one_channel(self):
+        """Transpose uses one 5 GB/s link per site: ~1.56% of peak."""
+        r = sustained("point_to_point", "transpose", 0.05, window_ns=600)
+        frac = r.throughput_gb_per_s / PEAK
+        assert frac < 0.020
+        assert r.saturated
+
+    def test_token_ring_transpose_below_p2p(self):
+        """Token reacquisition caps one-to-one patterns below ~1.3%."""
+        tr = sustained("token_ring", "transpose", 0.05, window_ns=600)
+        p2p = sustained("point_to_point", "transpose", 0.05, window_ns=600)
+        assert tr.throughput_gb_per_s < p2p.throughput_gb_per_s
+
+    def test_limited_p2p_best_on_neighbor(self):
+        """Nearest-neighbor maps onto direct row/column links: the
+        limited point-to-point network sustains ~25% of peak."""
+        r = sustained("limited_point_to_point", "neighbor", 0.24,
+                      window_ns=600)
+        assert not r.saturated
+        p2p = sustained("point_to_point", "neighbor", 0.24, window_ns=600)
+        assert (r.throughput_gb_per_s > p2p.throughput_gb_per_s
+                or p2p.saturated)
+
+
+def _make_trace(pattern_key, mix="LS", ops=15, name="t"):
+    spec = SyntheticCoherenceSpec(name, ops_per_core=ops)
+    return generate_synthetic_trace(
+        spec, make_pattern(pattern_key, CFG.layout), mix_by_name(mix), CFG)
+
+
+class TestBenchmarkClaims:
+    """Section 6.2 coherence-benchmark behaviour."""
+
+    @pytest.fixture(scope="class")
+    def all_to_all_results(self):
+        trace = _make_trace("uniform")
+        return {net: replay(trace, net, CFG)
+                for net in ["circuit_switched", "point_to_point",
+                            "token_ring", "two_phase", "two_phase_alt"]}
+
+    def test_p2p_fastest_on_all_to_all(self, all_to_all_results):
+        res = all_to_all_results
+        assert res["point_to_point"].runtime_ps < res["token_ring"].runtime_ps
+        assert res["point_to_point"].runtime_ps < res["two_phase"].runtime_ps
+        assert (res["point_to_point"].runtime_ps
+                < res["circuit_switched"].runtime_ps)
+
+    def test_circuit_switched_slowest(self, all_to_all_results):
+        res = all_to_all_results
+        cs = res["circuit_switched"].runtime_ps
+        for net, r in res.items():
+            if net != "circuit_switched":
+                assert r.runtime_ps < cs, net
+
+    def test_alt_beats_base_two_phase(self, all_to_all_results):
+        res = all_to_all_results
+        assert (res["two_phase_alt"].runtime_ps
+                < res["two_phase"].runtime_ps)
+
+    def test_ms_mix_punishes_arbitrated_networks(self):
+        """Section 6.2: P2P is at least ~4.5x better than the arbitrated
+        networks on the MS mix (invalidation-heavy small messages); at
+        this reduced workload scale we assert the weaker >1.7x ordering
+        (EXPERIMENTS.md records the full-scale ratio)."""
+        trace = _make_trace("transpose", mix="MS", ops=30,
+                            name="transpose-ms")
+        p2p = replay(trace, "point_to_point", CFG)
+        tr = replay(trace, "token_ring", CFG)
+        assert tr.runtime_ps > 1.7 * p2p.runtime_ps
+
+    def test_p2p_op_latency_bounded(self):
+        """P2P latency per coherence op stays low (paper: <= ~100 ns on
+        synthetic benchmarks)."""
+        trace = _make_trace("uniform")
+        r = replay(trace, "point_to_point", CFG)
+        assert r.mean_op_latency_ns < 100.0

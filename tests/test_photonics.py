@@ -1,0 +1,141 @@
+"""Tests for the photonic technology substrate: technology constants,
+component models, link budgets, and laser power."""
+
+import pytest
+
+from repro.core.units import db_to_factor
+from repro.photonics import components as comp
+from repro.photonics import loss
+from repro.photonics.power import (
+    LaserPowerEstimate,
+    laser_power_w,
+    router_energy_pj,
+    transmit_energy_pj,
+)
+from repro.photonics.technology import DEFAULT_TECHNOLOGY, Technology, table1_rows
+
+
+class TestTechnology:
+    def test_table1_values(self):
+        t = DEFAULT_TECHNOLOGY
+        assert t.modulator_energy_fj_per_bit == 35.0
+        assert t.receiver_energy_fj_per_bit == 65.0
+        assert t.laser_energy_fj_per_bit == 50.0
+        assert t.modulator_loss_db == 4.0
+        assert t.opxc_loss_db == 1.2
+        assert t.switch_loss_db == 1.0
+        assert t.drop_filter_drop_loss_db == 1.5
+        assert t.drop_filter_through_loss_db == 0.1
+
+    def test_wavelength_bandwidth(self):
+        # 20 Gb/s -> 2.5 GB/s per wavelength
+        assert DEFAULT_TECHNOLOGY.wavelength_bandwidth_gb_per_s == 2.5
+
+    def test_link_margin_is_21db(self):
+        # 0 dBm launch, -21 dBm sensitivity
+        assert DEFAULT_TECHNOLOGY.link_margin_db == 21.0
+
+    def test_overrides_do_not_mutate_default(self):
+        t2 = DEFAULT_TECHNOLOGY.with_overrides(switch_loss_db=2.0)
+        assert t2.switch_loss_db == 2.0
+        assert DEFAULT_TECHNOLOGY.switch_loss_db == 1.0
+
+    def test_table1_rows_cover_all_components(self):
+        names = [r[0] for r in table1_rows()]
+        assert names == ["Modulator", "OPxC", "Waveguide", "Drop Filter",
+                         "Receiver", "Switch", "Laser"]
+
+
+class TestComponents:
+    def test_modulator_active_vs_off(self):
+        active = comp.modulator(active=True)
+        off = comp.modulator(active=False)
+        assert active.loss_db == 4.0
+        assert off.loss_db == 0.1
+        assert active.dynamic_energy_fj_per_bit == 35.0
+        assert off.dynamic_energy_fj_per_bit == 0.0
+
+    def test_waveguide_layers(self):
+        assert comp.waveguide(10.0, layer="global").loss_db == pytest.approx(1.0)
+        assert comp.waveguide(10.0, layer="local").loss_db == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            comp.waveguide(1.0, layer="bogus")
+        with pytest.raises(ValueError):
+            comp.waveguide(-1.0)
+
+    def test_drop_filter_two_ports(self):
+        assert comp.drop_filter(selected=True).loss_db == 1.5
+        assert comp.drop_filter(selected=False).loss_db == 0.1
+
+    def test_path_accumulates_loss(self):
+        path = comp.OpticalPath()
+        path.append(comp.modulator())
+        path.append(comp.opxc_coupler())
+        assert path.total_loss_db == pytest.approx(5.2)
+
+    def test_path_describe_mentions_total(self):
+        path = comp.OpticalPath([comp.modulator()])
+        assert "TOTAL" in path.describe()
+
+
+class TestLinkBudget:
+    def test_canonical_unswitched_link_is_17db(self):
+        # section 2: "the optical link loss for an un-switched link is 17 dB"
+        path = loss.unswitched_link()
+        assert path.total_loss_db == pytest.approx(17.0, abs=0.11)
+
+    def test_canonical_link_leaves_4db_margin(self):
+        budget = loss.budget_for(loss.unswitched_link())
+        assert budget.margin_db == pytest.approx(4.0, abs=0.11)
+        assert budget.closes
+
+    def test_overloaded_link_does_not_close(self):
+        path = loss.unswitched_link()
+        for _ in range(10):
+            path.append(comp.broadband_switch())
+        assert not loss.budget_for(path).closes
+
+    def test_token_ring_extra_loss(self):
+        # 128 pass-by rings x 0.1 dB = 12.8 dB -> ~19x (Table 5)
+        db = loss.token_ring_extra_loss_db(128)
+        assert db == pytest.approx(12.8)
+        assert db_to_factor(db) == pytest.approx(19.05, abs=0.01)
+
+    def test_circuit_switched_extra_loss(self):
+        # 31 hops x 0.5 dB (section 4.5)
+        assert loss.circuit_switched_extra_loss_db(31) == pytest.approx(15.5)
+
+    def test_two_phase_extra_loss(self):
+        assert loss.two_phase_extra_loss_db(7) == pytest.approx(7.0)
+        assert loss.two_phase_extra_loss_db(6) == pytest.approx(6.0)
+
+    def test_snoop_loss_factor_of_8(self):
+        assert db_to_factor(loss.snoop_extra_loss_db(8)) == pytest.approx(8.0)
+
+
+class TestPower:
+    def test_p2p_laser_power_8w(self):
+        # Table 5: point-to-point, 8192 wavelengths, no extra loss -> ~8 W
+        assert laser_power_w(8192, 0.0) == pytest.approx(8.192)
+
+    def test_token_ring_laser_power_155w(self):
+        # Table 5: 8192 feeds at 19x -> ~155 W
+        assert laser_power_w(8192, 12.8) == pytest.approx(156.0, abs=1.0)
+
+    def test_two_phase_laser_power(self):
+        # Table 5: data 41 W; ALT 65.5 W
+        assert laser_power_w(8192, 7.0) == pytest.approx(41.0, abs=0.5)
+        assert laser_power_w(16384, 6.0) == pytest.approx(65.2, abs=0.5)
+
+    def test_estimate_object(self):
+        est = LaserPowerEstimate("x", 100, 10.0)
+        assert est.loss_factor == pytest.approx(10.0)
+        assert est.laser_power_w == pytest.approx(1.0)
+
+    def test_transmit_energy_is_150fj_per_bit(self):
+        # modulator 35 + receiver 65 + laser 50 = 150 fJ/bit
+        assert transmit_energy_pj(1) == pytest.approx(1.2)  # 8 bits
+        assert transmit_energy_pj(64) == pytest.approx(76.8)
+
+    def test_router_energy_60pj_per_byte(self):
+        assert router_energy_pj(64) == pytest.approx(3840.0)

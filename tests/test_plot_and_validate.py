@@ -1,0 +1,96 @@
+"""Tests for ASCII plotting and the paper-claims validator."""
+
+import math
+
+import pytest
+
+from repro.analysis.plot import ascii_plot, plot_figure6_panel
+from repro.analysis.validate import (
+    COMPONENT_COUNTS,
+    LASER_POWER_W,
+    UNIFORM_SATURATION,
+    Expectation,
+    render_report,
+    validate_tables,
+    validate_uniform_saturation,
+)
+
+
+class TestAsciiPlot:
+    def test_basic_plot_contains_markers_and_legend(self):
+        text = ascii_plot({"a": [(0, 1.0), (10, 5.0)],
+                           "b": [(0, 2.0), (10, 3.0)]},
+                          title="t", xlabel="load", ylabel="lat")
+        assert "t" in text
+        assert "o=a" in text and "x=b" in text
+        assert "load" in text
+
+    def test_log_scale(self):
+        text = ascii_plot({"a": [(0, 1.0), (1, 1000.0)]}, log_y=True)
+        assert "1e+03" in text or "1000" in text
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [(0, 0.0)]}, log_y=True)
+
+    def test_nan_points_dropped(self):
+        text = ascii_plot({"a": [(0, 1.0), (1, math.nan), (2, 2.0)]})
+        assert text  # does not raise
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [(0, math.nan)]})
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [(0, 1.0)]}, width=4)
+
+    def test_figure6_panel_plot(self):
+        from repro.experiments.figure6 import run_figure6
+        from repro.macrochip.config import small_test_config
+
+        res = run_figure6(small_test_config(4, 4), window_ns=80.0,
+                          patterns=["uniform"],
+                          networks=["point_to_point", "token_ring"],
+                          load_grids={"uniform": [0.05, 0.3]})
+        text = plot_figure6_panel(res, "uniform")
+        assert "Figure 6 [uniform]" in text
+        with pytest.raises(KeyError):
+            plot_figure6_panel(res, "transpose")
+
+
+class TestValidator:
+    def test_expectation_banding(self):
+        exp = Expectation("x", "1", 0.5, 1.5)
+        assert exp.check(1.0).ok
+        assert not exp.check(2.0).ok
+        assert exp.check(2.0).verdict == "WARN"
+
+    def test_tables_all_pass(self):
+        findings = validate_tables()
+        assert findings
+        assert all(f.ok for f in findings)
+
+    def test_saturation_bands(self):
+        findings = validate_uniform_saturation({
+            "point_to_point": 0.94,
+            "token_ring": 0.40,
+            "circuit_switched": 0.30,  # way over the paper band
+        })
+        by_claim = {f.expectation.claim: f for f in findings}
+        assert by_claim[UNIFORM_SATURATION["point_to_point"].claim].ok
+        assert not by_claim[
+            UNIFORM_SATURATION["circuit_switched"].claim].ok
+
+    def test_report_renders_counts(self):
+        findings = validate_tables()
+        text = render_report(findings)
+        assert "PASS" in text
+        assert "%d/%d" % (len(findings), len(findings)) in text
+
+    def test_expectation_tables_cover_all_networks(self):
+        assert len(UNIFORM_SATURATION) == 5
+        assert len(LASER_POWER_W) == 7
+        assert len(COMPONENT_COUNTS) >= 8

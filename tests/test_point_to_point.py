@@ -1,0 +1,79 @@
+"""Tests for the static WDM point-to-point network."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.macrochip.config import scaled_config
+from repro.networks.base import Packet
+from repro.networks.point_to_point import PointToPointNetwork
+
+
+@pytest.fixture
+def net(paper_config, sim):
+    return PointToPointNetwork(paper_config, sim)
+
+
+def test_channel_width_is_two_wavelengths(net):
+    # 128 transmitters / 64 sites = 2 wavelengths = 5 GB/s (section 4.2)
+    assert net.channel_wavelengths == 2
+    assert net.channel_gb_per_s == pytest.approx(5.0)
+
+
+def test_latency_is_serialization_plus_propagation(net, sim):
+    delivered = []
+    net.set_sink(delivered.append)
+    net.inject(Packet(0, 63, 64))
+    sim.run()
+    # 64 B at 5 GB/s = 12.8 ns; corner-to-corner 28 cm = 2.8 ns
+    assert delivered[0].t_deliver == 12800 + 2800
+
+
+def test_adjacent_sites_fly_faster(net, sim):
+    delivered = []
+    net.set_sink(delivered.append)
+    net.inject(Packet(0, 1, 64))
+    sim.run()
+    assert delivered[0].t_deliver == 12800 + 200
+
+
+def test_no_arbitration_on_distinct_pairs(net, sim):
+    """Packets between different pairs never queue on each other."""
+    delivered = []
+    net.set_sink(delivered.append)
+    for dst in range(1, 11):
+        net.inject(Packet(0, dst, 64))
+    sim.run()
+    # all serialize in parallel on their own channels: each arrives at
+    # 12.8 ns + its own propagation
+    for p in delivered:
+        assert p.t_deliver == 12800 + net.propagation_ps(0, p.dst)
+
+
+def test_same_pair_packets_fifo(net, sim):
+    delivered = []
+    net.set_sink(delivered.append)
+    net.inject(Packet(0, 1, 64))
+    net.inject(Packet(0, 1, 64))
+    sim.run()
+    times = sorted(p.t_deliver for p in delivered)
+    assert times == [13000, 13000 + 12800]
+
+
+def test_channels_are_per_direction(net):
+    a = net.channel(0, 1)
+    b = net.channel(1, 0)
+    assert a is not b
+    assert net.channel(0, 1) is a  # cached
+
+
+def test_small_config_channel_width(small_config, sim):
+    # 128 Tx / 16 sites = 8 wavelengths = 20 GB/s on the 4x4 test chip
+    net = PointToPointNetwork(small_config, sim)
+    assert net.channel_gb_per_s == pytest.approx(20.0)
+
+
+def test_hops_counted_once(net, sim):
+    p = Packet(0, 9, 64)
+    net.inject(p)
+    sim.run()
+    assert p.hops == 1

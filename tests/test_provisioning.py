@@ -1,0 +1,55 @@
+"""Tests for the section 3 platform provisioning arithmetic."""
+
+import pytest
+
+from repro.macrochip.config import full_2015_config, scaled_config
+from repro.macrochip.provisioning import provision, section3_report
+
+
+class TestSection3Numbers:
+    """The 2015 platform claims of section 3."""
+
+    def test_per_site_bandwidth_is_2_56_tb(self):
+        b = provision()
+        assert b.site_bandwidth_tb_per_s == pytest.approx(2.56)
+
+    def test_aggregate_is_160_tb(self):
+        b = provision()
+        assert b.aggregate_bandwidth_tb_per_s == pytest.approx(163.84)
+
+    def test_1024_lasers_drive_the_interconnect(self):
+        # 65536 channels / (8 wavelengths x 8-way sharing) = 1024
+        b = provision()
+        assert b.laser_modules == 1024
+
+    def test_fibers_fit_with_headroom(self):
+        b = provision()
+        assert b.edge_fibers_used <= b.edge_fiber_capacity
+        assert b.fibers_available_for_memory_io >= 900
+
+    def test_4kw_is_coolable(self):
+        b = provision()
+        assert b.compute_power_kw == pytest.approx(4.096)
+        assert b.cooling_feasible
+
+    def test_report_text(self):
+        text = section3_report()
+        assert "160" in text or "163" in text
+        assert "1024" in text
+        assert "coolable" in text
+
+
+def test_scaled_config_needs_fewer_lasers():
+    b = provision(scaled_config())
+    assert b.laser_modules == 128  # 8192 channels / 64 per module
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        provision(wavelengths_per_laser=0)
+
+
+def test_less_sharing_needs_more_lasers():
+    little = provision(power_sharing_ways=1)
+    lots = provision(power_sharing_ways=8)
+    assert little.laser_modules == 8 * lots.laser_modules

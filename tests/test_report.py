@@ -1,0 +1,52 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.analysis.report import (
+    figure6_markdown,
+    markdown_table,
+    suite_markdown,
+)
+from repro.experiments.evaluation import run_suite
+from repro.experiments.figure6 import run_figure6
+from repro.macrochip.config import small_test_config
+
+
+def test_markdown_table_shape():
+    text = markdown_table(["A", "B"], [["1", "2"], ["3", "4"]])
+    lines = text.splitlines()
+    assert lines[0] == "| A | B |"
+    assert lines[1] == "|---|---|"
+    assert len(lines) == 4
+
+
+def test_markdown_table_validation():
+    with pytest.raises(ValueError):
+        markdown_table([], [])
+    with pytest.raises(ValueError):
+        markdown_table(["A"], [["1", "2"]])
+
+
+def test_suite_markdown_end_to_end():
+    cfg = small_test_config(2, 2)
+    suite = run_suite("smoke", config=cfg,
+                      networks=["point_to_point", "circuit_switched",
+                                "limited_point_to_point"],
+                      workloads=["Barnes"])
+    text = suite_markdown(suite)
+    assert "### Figure 7" in text
+    assert "### Figure 8" in text
+    assert "### Figure 9" in text
+    assert "### Figure 10" in text
+    assert "Barnes" in text
+    assert "| Workload |" in text
+
+
+def test_figure6_markdown():
+    cfg = small_test_config(4, 4)
+    res = run_figure6(cfg, window_ns=80.0, patterns=["uniform"],
+                      networks=["point_to_point"],
+                      load_grids={"uniform": [0.05]})
+    text = figure6_markdown(res)
+    assert "### Figure 6" in text
+    assert "Point-to-Point" in text

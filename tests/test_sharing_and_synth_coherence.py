@@ -1,0 +1,121 @@
+"""Tests for sharing mixes and synthetic coherence trace generation."""
+
+import random
+
+import pytest
+
+from repro.cpu.coherence import OpKind
+from repro.macrochip.config import small_test_config
+from repro.workloads.sharing import (
+    LESS_SHARING,
+    MORE_SHARING,
+    SharingMix,
+    mix_by_name,
+)
+from repro.workloads.synthetic import make_pattern
+from repro.workloads.synthetic_coherence import (
+    FIGURE7_SYNTHETIC,
+    SyntheticCoherenceSpec,
+    generate_synthetic_trace,
+)
+
+
+class TestSharingMix:
+    def test_paper_mixes(self):
+        assert LESS_SHARING.sharer_probability == 0.10
+        assert LESS_SHARING.sharer_count == 1
+        assert MORE_SHARING.sharer_probability == 0.40
+        assert MORE_SHARING.sharer_count == 3
+
+    def test_mix_by_name(self):
+        assert mix_by_name("ls") is LESS_SHARING
+        assert mix_by_name("MS") is MORE_SHARING
+        with pytest.raises(KeyError):
+            mix_by_name("XL")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharingMix("bad", 1.5, 1)
+        with pytest.raises(ValueError):
+            SharingMix("bad", 0.5, -1)
+
+    def test_draw_excludes_requester(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            sharers = MORE_SHARING.draw_sharers(rng, requester=3,
+                                                num_sites=16)
+            assert 3 not in sharers
+            assert len(sharers) in (0, 3)
+            assert len(set(sharers)) == len(sharers)
+
+    def test_draw_frequency_close_to_mix(self):
+        rng = random.Random(42)
+        hits = sum(1 for _ in range(2000)
+                   if MORE_SHARING.draw_sharers(rng, 0, 64))
+        assert 0.35 < hits / 2000 < 0.45
+
+    def test_sharer_count_clamped_to_machine(self):
+        rng = random.Random(1)
+        mix = SharingMix("tiny", 1.0, 10)
+        sharers = mix.draw_sharers(rng, 0, num_sites=4)
+        assert len(sharers) == 3
+
+
+class TestSyntheticTrace:
+    def setup_method(self):
+        self.cfg = small_test_config(4, 4)
+
+    def make(self, pattern="uniform", mix="LS", ops=20):
+        spec = SyntheticCoherenceSpec("test", ops_per_core=ops)
+        return generate_synthetic_trace(
+            spec, make_pattern(pattern, self.cfg.layout),
+            mix_by_name(mix), self.cfg)
+
+    def test_shape(self):
+        trace = self.make()
+        assert trace.num_cores == self.cfg.num_cores
+        assert trace.total_ops == self.cfg.num_cores * 20
+
+    def test_miss_rate_near_4_percent(self):
+        trace = self.make(ops=200)
+        assert 0.03 < trace.miss_rate < 0.05
+
+    def test_transpose_homes_follow_pattern(self):
+        trace = self.make(pattern="transpose")
+        pat = make_pattern("transpose", self.cfg.layout)
+        for core, ops in enumerate(trace.ops_by_core):
+            site = core // self.cfg.cores_per_site
+            for op in ops:
+                assert op.home == pat.destination(site)
+
+    def test_ms_mix_produces_invalidations(self):
+        trace = self.make(mix="MS", ops=100)
+        with_sharers = sum(
+            1 for ops in trace.ops_by_core for op in ops
+            if op.kind is OpKind.GET_M and len(op.sharers) == 3)
+        assert with_sharers > 0
+
+    def test_ls_mix_reads_find_owners_sometimes(self):
+        trace = self.make(mix="LS", ops=200)
+        owners = sum(1 for ops in trace.ops_by_core for op in ops
+                     if op.kind is OpKind.GET_S and op.owner is not None)
+        assert owners > 0
+
+    def test_deterministic_for_same_seed(self):
+        a = self.make()
+        b = self.make()
+        assert a.ops_by_core[5][3].home == b.ops_by_core[5][3].home
+        assert a.ops_by_core[5][3].gap_cycles == b.ops_by_core[5][3].gap_cycles
+
+    def test_bad_miss_rate_rejected(self):
+        spec = SyntheticCoherenceSpec("bad", miss_rate=0.0)
+        with pytest.raises(ValueError):
+            generate_synthetic_trace(
+                spec, make_pattern("uniform", self.cfg.layout),
+                LESS_SHARING, self.cfg)
+
+
+def test_figure7_synthetic_listing():
+    names = [n for n, _, _ in FIGURE7_SYNTHETIC]
+    assert names == ["All-to-all", "Transpose", "Transpose-MS", "Neighbor",
+                     "Butterfly"]

@@ -1,0 +1,143 @@
+"""Tests for statistics collectors."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.stats import (
+    EnergyAccount,
+    LatencySample,
+    NetworkStats,
+    ThroughputMeter,
+    format_ns,
+    mean,
+)
+
+
+class TestLatencySample:
+    def test_empty(self):
+        s = LatencySample()
+        assert len(s) == 0
+        assert math.isnan(s.mean_ps)
+        with pytest.raises(ValueError):
+            s.min_ps
+        with pytest.raises(ValueError):
+            s.percentile_ps(50)
+
+    def test_basic_moments(self):
+        s = LatencySample()
+        for v in [1000, 2000, 3000]:
+            s.add(v)
+        assert s.mean_ps == 2000
+        assert s.mean_ns == 2.0
+        assert s.min_ps == 1000
+        assert s.max_ps == 3000
+        assert s.max_ns == 3.0
+
+    def test_percentiles_nearest_rank(self):
+        s = LatencySample()
+        for v in range(1, 101):
+            s.add(v)
+        assert s.percentile_ps(50) == 50
+        assert s.percentile_ps(99) == 99
+        assert s.percentile_ps(100) == 100
+        assert s.percentile_ps(0) == 1
+
+    def test_percentile_bounds_checked(self):
+        s = LatencySample()
+        s.add(1)
+        with pytest.raises(ValueError):
+            s.percentile_ps(101)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1,
+                    max_size=200))
+    def test_mean_min_max_match_builtins(self, values):
+        s = LatencySample()
+        for v in values:
+            s.add(v)
+        assert s.min_ps == min(values)
+        assert s.max_ps == max(values)
+        assert s.mean_ps == pytest.approx(sum(values) / len(values))
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1,
+                    max_size=100),
+           st.floats(min_value=0.0, max_value=100.0))
+    def test_percentile_is_a_recorded_value(self, values, pct):
+        s = LatencySample()
+        for v in values:
+            s.add(v)
+        assert s.percentile_ps(pct) in values
+
+
+class TestThroughputMeter:
+    def test_warmup_excluded(self):
+        m = ThroughputMeter(warmup_ps=1000)
+        m.record(500, 64)  # before warmup: ignored
+        m.record(1500, 64)
+        m.record(2000, 64)
+        assert m.bytes == 128
+        assert m.packets == 2
+
+    def test_window_end_excludes_drain(self):
+        m = ThroughputMeter(warmup_ps=0, window_end_ps=1000)
+        m.record(500, 64)
+        m.record(1500, 64)  # after the window: ignored
+        assert m.bytes == 64
+
+    def test_bytes_per_ns(self):
+        m = ThroughputMeter()
+        m.record(1000, 100)
+        m.record(2000, 100)
+        # 200 bytes over 2000 ps -> 100 bytes/ns
+        assert m.bytes_per_ns() == pytest.approx(100.0)
+
+    def test_empty_rate_is_zero(self):
+        assert ThroughputMeter().bytes_per_ns() == 0.0
+
+
+class TestEnergyAccount:
+    def test_accumulates_by_category(self):
+        e = EnergyAccount()
+        e.add("optical", 10.0)
+        e.add("optical", 5.0)
+        e.add("router", 2.5)
+        assert e.get("optical") == 15.0
+        assert e.get("router") == 2.5
+        assert e.get("missing") == 0.0
+        assert e.total_pj == 17.5
+        assert e.categories() == {"optical": 15.0, "router": 2.5}
+
+
+class TestNetworkStats:
+    def test_deliver_updates_everything(self):
+        s = NetworkStats(warmup_ps=0)
+        s.on_inject()
+        s.on_deliver(now_ps=2000, inject_ps=500, size_bytes=64)
+        assert s.injected_packets == 1
+        assert s.delivered_packets == 1
+        assert s.latency.mean_ps == 1500
+
+    def test_warmup_deliveries_not_in_latency(self):
+        s = NetworkStats(warmup_ps=1000)
+        s.on_deliver(now_ps=500, inject_ps=100, size_bytes=64)
+        assert len(s.latency) == 0
+        assert s.delivered_packets == 1
+
+    def test_summary_keys(self):
+        s = NetworkStats()
+        s.on_inject()
+        s.on_deliver(1000, 0, 64)
+        summary = s.summary()
+        assert summary["injected"] == 1
+        assert summary["delivered"] == 1
+        assert summary["mean_latency_ns"] == pytest.approx(1.0)
+
+
+def test_mean_helper():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    assert math.isnan(mean([]))
+
+
+def test_format_ns():
+    assert format_ns(12800) == "12.8 ns"

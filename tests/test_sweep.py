@@ -1,0 +1,76 @@
+"""Tests for the open-loop load-sweep harness (Figure 6 machinery)."""
+
+import math
+
+import pytest
+
+from repro.core.sweep import run_load_point, saturation_fraction, sweep
+from repro.macrochip.config import small_test_config
+from repro.workloads.synthetic import UniformTraffic
+
+
+CFG = small_test_config(4, 4)
+
+
+def test_low_load_point_is_unsaturated():
+    r = run_load_point("point_to_point", CFG, UniformTraffic(CFG.layout),
+                       offered_fraction=0.05, window_ns=200)
+    assert not r.saturated
+    assert r.delivered_packets == r.injected_packets
+    assert r.mean_latency_ns > 0
+    assert r.throughput_gb_per_s > 0
+
+
+def test_overload_saturates_circuit_switched():
+    r = run_load_point("circuit_switched", CFG, UniformTraffic(CFG.layout),
+                       offered_fraction=0.5, window_ns=200)
+    assert r.saturated
+    assert r.delivered_packets < r.injected_packets
+
+
+def test_throughput_tracks_offered_load_when_unsaturated():
+    lo = run_load_point("point_to_point", CFG, UniformTraffic(CFG.layout),
+                        0.02, window_ns=400, seed=7)
+    hi = run_load_point("point_to_point", CFG, UniformTraffic(CFG.layout),
+                        0.08, window_ns=400, seed=7)
+    assert hi.throughput_gb_per_s > 2 * lo.throughput_gb_per_s
+
+
+def test_latency_grows_with_load():
+    lo = run_load_point("token_ring", CFG, UniformTraffic(CFG.layout),
+                        0.05, window_ns=400)
+    hi = run_load_point("token_ring", CFG, UniformTraffic(CFG.layout),
+                        0.6, window_ns=400)
+    assert hi.mean_latency_ns > lo.mean_latency_ns
+
+
+def test_invalid_load_rejected():
+    with pytest.raises(ValueError):
+        run_load_point("point_to_point", CFG, UniformTraffic(CFG.layout),
+                       0.0)
+
+
+def test_sweep_returns_points_in_order():
+    points = sweep("point_to_point", CFG, UniformTraffic(CFG.layout),
+                   [0.02, 0.05], window_ns=200)
+    assert [p.offered_fraction for p in points] == [0.02, 0.05]
+    for p in points:
+        assert not math.isnan(p.mean_latency_ns)
+
+
+def test_saturation_fraction():
+    points = sweep("point_to_point", CFG, UniformTraffic(CFG.layout),
+                   [0.02, 0.05], window_ns=200)
+    assert saturation_fraction(points) == max(
+        p.delivered_fraction for p in points)
+    with pytest.raises(ValueError):
+        saturation_fraction([])
+
+
+def test_deterministic_for_fixed_seed():
+    a = run_load_point("point_to_point", CFG, UniformTraffic(CFG.layout),
+                       0.05, window_ns=200, seed=99)
+    b = run_load_point("point_to_point", CFG, UniformTraffic(CFG.layout),
+                       0.05, window_ns=200, seed=99)
+    assert a.mean_latency_ns == b.mean_latency_ns
+    assert a.delivered_packets == b.delivered_packets

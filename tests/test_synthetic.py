@@ -1,0 +1,122 @@
+"""Tests for the synthetic traffic patterns (Table 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.photonics.layout import MacrochipLayout
+from repro.workloads.synthetic import (
+    ButterflyTraffic,
+    NeighborTraffic,
+    TransposeTraffic,
+    UniformTraffic,
+    make_pattern,
+    pattern_names,
+)
+
+LAYOUT = MacrochipLayout()  # 8x8
+
+
+class TestUniform:
+    def test_never_self(self):
+        pat = UniformTraffic(LAYOUT, seed=7)
+        for src in range(64):
+            for _ in range(20):
+                assert pat.destination(src) != src
+
+    def test_covers_many_destinations(self):
+        pat = UniformTraffic(LAYOUT, seed=7)
+        dests = {pat.destination(0) for _ in range(500)}
+        assert len(dests) > 50
+
+    def test_reseed_reproduces(self):
+        pat = UniformTraffic(LAYOUT)
+        pat.reseed(123)
+        a = [pat.destination(0) for _ in range(10)]
+        pat.reseed(123)
+        b = [pat.destination(0) for _ in range(10)]
+        assert a == b
+
+
+class TestTranspose:
+    def test_swaps_row_and_column(self):
+        pat = TransposeTraffic(LAYOUT)
+        # site (1, 3) = 11 -> (3, 1) = 25
+        assert pat.destination(11) == 25
+
+    def test_is_involution(self):
+        pat = TransposeTraffic(LAYOUT)
+        for src in range(64):
+            assert pat.destination(pat.destination(src)) == src
+
+    def test_diagonal_maps_to_self(self):
+        pat = TransposeTraffic(LAYOUT)
+        for i in range(8):
+            assert pat.destination(i * 9) == i * 9
+
+    def test_deterministic_single_destination(self):
+        pat = TransposeTraffic(LAYOUT)
+        assert len({pat.destination(11) for _ in range(10)}) == 1
+
+
+class TestButterfly:
+    def test_swaps_lsb_and_msb(self):
+        pat = ButterflyTraffic(LAYOUT)
+        # site 1 = 000001 -> 100000 = 32
+        assert pat.destination(1) == 32
+        assert pat.destination(32) == 1
+
+    def test_half_map_to_self(self):
+        """LSB == MSB means no movement — the 50% intra-node traffic the
+        paper notes for butterfly (section 6.2)."""
+        pat = ButterflyTraffic(LAYOUT)
+        self_count = sum(1 for s in range(64) if pat.destination(s) == s)
+        assert self_count == 32
+
+    def test_is_involution(self):
+        pat = ButterflyTraffic(LAYOUT)
+        for src in range(64):
+            assert pat.destination(pat.destination(src)) == src
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            ButterflyTraffic(MacrochipLayout(rows=3, cols=4))
+
+
+class TestNeighbor:
+    def test_destination_is_grid_neighbor(self):
+        pat = NeighborTraffic(LAYOUT, seed=3)
+        for src in range(64):
+            r, c = LAYOUT.coords(src)
+            for _ in range(10):
+                dst = pat.destination(src)
+                dr, dc = LAYOUT.coords(dst)
+                row_delta = min((r - dr) % 8, (dr - r) % 8)
+                col_delta = min((c - dc) % 8, (dc - c) % 8)
+                assert row_delta + col_delta == 1
+
+    def test_all_four_neighbors_reachable(self):
+        pat = NeighborTraffic(LAYOUT, seed=3)
+        dests = {pat.destination(27) for _ in range(200)}
+        assert len(dests) == 4
+
+
+def test_make_pattern_factory():
+    for name in pattern_names():
+        assert make_pattern(name).name
+    with pytest.raises(KeyError):
+        make_pattern("bogus")
+
+
+def test_sweep_ranges_match_paper_axes():
+    assert UniformTraffic.sweep_max_fraction == 1.0
+    assert TransposeTraffic.sweep_max_fraction == 0.06
+    assert NeighborTraffic.sweep_max_fraction == 0.25
+    assert ButterflyTraffic.sweep_max_fraction == 0.06
+
+
+@given(st.integers(min_value=0, max_value=63))
+def test_all_patterns_produce_valid_sites(src):
+    for name in pattern_names():
+        pat = make_pattern(name, LAYOUT, seed=1)
+        dst = pat.destination(src)
+        assert 0 <= dst < 64

@@ -1,0 +1,120 @@
+"""Tests for the two-phase arbitrated network."""
+
+import pytest
+
+from repro.networks.base import Packet
+from repro.networks.two_phase import (
+    ARB_SLOT_PS,
+    TwoPhaseAltNetwork,
+    TwoPhaseArbitratedNetwork,
+)
+
+
+@pytest.fixture
+def net(paper_config, sim):
+    return TwoPhaseArbitratedNetwork(paper_config, sim)
+
+
+def test_channel_is_40gb_per_s(net):
+    # section 4.3: 16-bit, 40 GB/s shared channels
+    assert net.channel_gb_per_s == pytest.approx(40.0)
+
+
+def test_slot_duration_is_multiple_of_basic_slot(net):
+    # 64 B at 40 GB/s = 1.6 ns = 4 basic slots
+    assert net.slot_duration_ps(64) == 1600
+    # 8 B control = 0.2 ns, rounded up to one 0.4 ns slot
+    assert net.slot_duration_ps(8) == ARB_SLOT_PS
+
+
+def test_single_packet_latency_includes_arbitration(net, sim):
+    p = Packet(0, 9, 64)
+    net.inject(p)
+    sim.run()
+    # request broadcast + arb slot + notification + switch setup + slot
+    overhead = (net.request_prop_ps + ARB_SLOT_PS + net.notify_prop_ps
+                + net.switch_setup_ps)
+    expected = overhead + 1600 + net.propagation_ps(0, 9)
+    assert p.t_deliver == expected
+    assert net.granted_slots == 1
+    assert net.wasted_slots == 0
+
+
+def test_shared_channel_serializes_row_senders(net, sim):
+    """Two sites in the same row sending to the same destination share
+    one 40 GB/s channel."""
+    p1 = Packet(0, 32, 64)
+    p2 = Packet(1, 32, 64)
+    net.inject(p1)
+    net.inject(p2)
+    sim.run()
+    first, second = sorted([p1.t_deliver, p2.t_deliver])
+    assert second - first >= 1600  # back-to-back slots at best
+
+
+def test_different_rows_use_different_channels(net):
+    a = net.channel(0, 32)
+    b = net.channel(1, 32)
+    assert a is not b
+
+
+def test_tree_contention_wastes_slots(net, sim):
+    """Same source, two destinations in the same column, back to back:
+    the second grant finds the tree busy/retuning and must re-arbitrate."""
+    p1 = Packet(0, 8, 64)   # column 0
+    p2 = Packet(0, 16, 64)  # column 0 again
+    net.inject(p1)
+    net.inject(p2)
+    sim.run()
+    assert net.wasted_slots >= 1
+    assert net.stats.delivered_packets == 2
+    # the loser pays at least the tree reconfiguration window
+    slow = max(p1.t_deliver, p2.t_deliver)
+    fast = min(p1.t_deliver, p2.t_deliver)
+    assert slow - fast >= net.tree_reconfig_ps
+
+
+def test_same_destination_streak_needs_no_reconfig(net, sim):
+    """Back-to-back packets to the same destination reuse the configured
+    tree at full channel rate."""
+    p1 = Packet(0, 8, 64)
+    p2 = Packet(0, 8, 64)
+    net.inject(p1)
+    net.inject(p2)
+    sim.run()
+    assert net.wasted_slots == 0
+    assert abs(p2.t_deliver - p1.t_deliver) == 1600
+
+
+def test_different_columns_do_not_contend(net, sim):
+    p1 = Packet(0, 8, 64)   # column 0
+    p2 = Packet(0, 17, 64)  # column 1
+    net.inject(p1)
+    net.inject(p2)
+    sim.run()
+    assert net.wasted_slots == 0
+
+
+def test_alt_variant_has_two_trees(paper_config, sim):
+    alt = TwoPhaseAltNetwork(paper_config, sim)
+    assert alt.trees_per_column == 2
+
+
+def test_alt_absorbs_column_conflict(paper_config, sim):
+    alt = TwoPhaseAltNetwork(paper_config, sim)
+    p1 = Packet(0, 8, 64)
+    p2 = Packet(0, 16, 64)
+    alt.inject(p1)
+    alt.inject(p2)
+    sim.run()
+    assert alt.wasted_slots == 0  # second tree takes the second grant
+
+
+def test_all_delivered_under_contention(net, sim):
+    delivered = []
+    net.set_sink(delivered.append)
+    for src in range(8):
+        for dst in (8, 16, 24):
+            net.inject(Packet(src, dst, 64))
+    sim.run()
+    assert len(delivered) == 24

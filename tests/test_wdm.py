@@ -1,0 +1,94 @@
+"""Tests for WDM wavelength allocation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.photonics.wdm import (
+    WavelengthAllocator,
+    WavelengthConflictError,
+    WdmChannel,
+    p2p_wavelength_plan,
+)
+
+
+def test_allocate_basic():
+    alloc = WavelengthAllocator(8)
+    ch = alloc.allocate("wg0", [0, 1])
+    assert ch == WdmChannel("wg0", (0, 1))
+    assert ch.width == 2
+    assert alloc.occupancy("wg0") == 2
+
+
+def test_conflict_detected():
+    alloc = WavelengthAllocator(8)
+    alloc.allocate("wg0", [3])
+    with pytest.raises(WavelengthConflictError):
+        alloc.allocate("wg0", [3])
+
+
+def test_same_wavelength_on_other_guide_ok():
+    alloc = WavelengthAllocator(8)
+    alloc.allocate("wg0", [3])
+    alloc.allocate("wg1", [3])
+    assert alloc.total_channels == 2
+
+
+def test_out_of_range_wavelength_rejected():
+    alloc = WavelengthAllocator(8)
+    with pytest.raises(ValueError):
+        alloc.allocate("wg0", [8])
+    with pytest.raises(ValueError):
+        alloc.allocate("wg0", [-1])
+
+
+def test_empty_channel_rejected():
+    with pytest.raises(ValueError):
+        WavelengthAllocator(8).allocate("wg0", [])
+
+
+def test_allocate_next_takes_lowest_free():
+    alloc = WavelengthAllocator(8)
+    alloc.allocate("wg0", [0, 2])
+    ch = alloc.allocate_next("wg0", 2)
+    assert ch.wavelengths == (1, 3)
+
+
+def test_allocate_next_overflow():
+    alloc = WavelengthAllocator(4)
+    alloc.allocate_next("wg0", 3)
+    with pytest.raises(WavelengthConflictError):
+        alloc.allocate_next("wg0", 2)
+
+
+def test_waveguides_listing():
+    alloc = WavelengthAllocator(8)
+    alloc.allocate("b", [0])
+    alloc.allocate("a", [0])
+    assert alloc.waveguides() == ["a", "b"]
+
+
+def test_p2p_plan_feasible_for_paper_config():
+    # 8 rows x 2-wavelength channels on 8-wavelength guides must fit:
+    # 2 vertical guides per (source, column)
+    alloc = p2p_wavelength_plan(rows=8, cols=8,
+                                wavelengths_per_waveguide=8,
+                                channel_width=2)
+    # every source reaches every destination: 64 * 64 channels of width 2
+    assert alloc.total_channels == 64 * 64 * 2
+
+
+def test_p2p_plan_small():
+    alloc = p2p_wavelength_plan(rows=2, cols=2,
+                                wavelengths_per_waveguide=8,
+                                channel_width=2)
+    assert alloc.total_channels == 4 * 4 * 2
+
+
+@given(st.integers(min_value=1, max_value=16))
+def test_allocator_occupancy_never_exceeds_wdm(n):
+    alloc = WavelengthAllocator(n)
+    for _ in range(n):
+        alloc.allocate_next("wg", 1)
+    assert alloc.occupancy("wg") == n
+    with pytest.raises(WavelengthConflictError):
+        alloc.allocate_next("wg", 1)
