@@ -162,11 +162,20 @@ class EnergyAccount:
 
 
 class NetworkStats:
-    """Everything a single network run records."""
+    """Everything a single network run records.
 
-    def __init__(self, warmup_ps: int = 0) -> None:
+    Latency sampling and the throughput meter share one measurement
+    window ``[warmup_ps, window_end_ps]`` (set ``window_end_ps`` through
+    :attr:`throughput`): deliveries during the post-window drain count
+    toward ``delivered_packets`` but are excluded from *both* meters, so
+    a saturated run's drain can neither dilute the sustained rate nor
+    inflate mean/p99 latency.
+    """
+
+    def __init__(self, warmup_ps: int = 0,
+                 window_end_ps: Optional[int] = None) -> None:
         self.latency = LatencySample()
-        self.throughput = ThroughputMeter(warmup_ps)
+        self.throughput = ThroughputMeter(warmup_ps, window_end_ps)
         self.energy = EnergyAccount()
         self.injected_packets = 0
         self.delivered_packets = 0
@@ -177,9 +186,10 @@ class NetworkStats:
 
     def on_deliver(self, now_ps: int, inject_ps: int, size_bytes: int) -> None:
         self.delivered_packets += 1
-        latency = now_ps - inject_ps
-        if now_ps >= self.throughput.warmup_ps:
-            self.latency.add(latency)
+        window_end = self.throughput.window_end_ps
+        if (now_ps >= self.throughput.warmup_ps
+                and (window_end is None or now_ps <= window_end)):
+            self.latency.add(now_ps - inject_ps)
         self.throughput.record(now_ps, size_bytes)
 
     def summary(self) -> Dict[str, float]:

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from .engine import Simulator
+from .parallel import Shard, derive_seed, run_sharded
 from .units import serialization_ps
 from ..macrochip.config import MacrochipConfig
 from ..networks.base import Packet
@@ -40,6 +41,9 @@ class LoadPointResult:
     delivered_packets: int
     injected_packets: int
     saturated: bool
+    #: simulator events dispatched — deterministic for a fixed seed, so
+    #: it participates in the bit-identical serial-vs-parallel contract
+    events_dispatched: int = 0
 
 
 @dataclass(frozen=True)
@@ -84,22 +88,28 @@ def run_load_point(network_name: str,
     net = build_network(network_name, config, sim, warmup_ps=warmup_ps,
                         **(network_kwargs or {}))
     net.stats.throughput.window_end_ps = inject_window_ps
-    rng = random.Random(seed)
-    pattern.reseed(seed ^ 0x5EED)
+    # Every site draws gaps and destinations from its own derived RNG
+    # streams, so site k's traffic depends only on (seed, k) — never on
+    # how the other sites' events happen to interleave.  This is what
+    # makes load points shard-stable under parallel decomposition.
+    gap_rngs = [random.Random(derive_seed(seed, "gap", site))
+                for site in range(config.num_sites)]
+    site_patterns = [pattern.split(derive_seed(seed, "dst", site))
+                     for site in range(config.num_sites)]
 
     def injector(site: int, remaining: int) -> None:
-        dst = pattern.destination(site)
+        dst = site_patterns[site].destination(site)
         net.inject(Packet(site, dst, packet_bytes))
         if remaining > 1:
-            gap = max(1, int(rng.expovariate(1.0 / mean_gap_ps)))
+            gap = max(1, int(gap_rngs[site].expovariate(1.0 / mean_gap_ps)))
             sim.schedule(gap, injector, site, remaining - 1)
 
     for site in range(config.num_sites):
-        first = max(1, int(rng.expovariate(1.0 / mean_gap_ps)))
+        first = max(1, int(gap_rngs[site].expovariate(1.0 / mean_gap_ps)))
         sim.at(first, injector, site, packets_per_site)
 
     horizon = int(inject_window_ps * (1.0 + drain_factor))
-    sim.run(until_ps=horizon)
+    events = sim.run(until_ps=horizon)
 
     stats = net.stats
     delivered = stats.delivered_packets
@@ -120,6 +130,21 @@ def run_load_point(network_name: str,
         delivered_packets=delivered,
         injected_packets=injected,
         saturated=saturated,
+        events_dispatched=events,
+    )
+
+
+def to_sweep_point(result: LoadPointResult,
+                   config: MacrochipConfig) -> SweepPoint:
+    """Normalize one load-point result to a sweep point (throughput as a
+    fraction of the aggregate peak)."""
+    total_peak = config.num_sites * config.site_bandwidth_gb_per_s
+    return SweepPoint(
+        offered_fraction=result.offered_fraction,
+        mean_latency_ns=result.mean_latency_ns,
+        p99_latency_ns=result.p99_latency_ns,
+        delivered_fraction=result.throughput_gb_per_s / total_peak,
+        saturated=result.saturated,
     )
 
 
@@ -128,21 +153,25 @@ def sweep(network_name: str,
           pattern: TrafficPattern,
           fractions: List[float],
           window_ns: float = 2000.0,
+          workers: int = 1,
+          progress: Optional[Callable[[str], None]] = None,
           **kwargs) -> List[SweepPoint]:
-    """Run a list of load points and normalize throughput to total peak."""
-    total_peak = config.num_sites * config.site_bandwidth_gb_per_s
-    points = []
-    for f in fractions:
-        r = run_load_point(network_name, config, pattern, f,
-                           window_ns=window_ns, **kwargs)
-        points.append(SweepPoint(
-            offered_fraction=f,
-            mean_latency_ns=r.mean_latency_ns,
-            p99_latency_ns=r.p99_latency_ns,
-            delivered_fraction=r.throughput_gb_per_s / total_peak,
-            saturated=r.saturated,
-        ))
-    return points
+    """Run a list of load points and normalize throughput to total peak.
+
+    Load points are independent simulations, so with ``workers > 1`` they
+    are sharded across processes via :func:`repro.core.parallel.
+    run_sharded`; every point's RNG streams derive from its own arguments,
+    so results are bit-identical to the ``workers=1`` serial path.
+    """
+    shards = [
+        Shard(run_load_point,
+              args=(network_name, config, pattern, f),
+              kwargs=dict(window_ns=window_ns, **kwargs),
+              label="%s/%s @%.3f" % (network_name, pattern.name, f))
+        for f in fractions
+    ]
+    run = run_sharded(shards, workers=workers, progress=progress)
+    return [to_sweep_point(r, config) for r in run.results]
 
 
 def saturation_fraction(points: List[SweepPoint]) -> float:

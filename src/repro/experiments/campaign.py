@@ -10,23 +10,60 @@ traces with different network parameters at near-zero cost.
 Layout of a campaign directory::
 
     campaign/
+      manifest.json                 preset + config fingerprint
       traces/<workload>.json        cached coherence traces
       results/<workload>__<network>.json
+
+The manifest records exactly what produced the cache.  Opening a
+campaign directory with a different preset or :class:`MacrochipConfig`
+raises :class:`CampaignStateError` (``on_stale='error'``, the default)
+or wipes and rebuilds the cache (``on_stale='rebuild'``) — silently
+reusing results simulated under different parameters is never an option.
+
+Independent (workload, network) replays shard across worker processes
+(``workers=N``); each simulation is fully determined by its trace,
+network, and config, so the grid is identical to a serial run.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from .evaluation import PRESETS, Preset, build_traces
+from .evaluation import PRESETS, Preset, WORKLOAD_ORDER, build_traces
+from ..core.parallel import Shard, run_sharded
 from ..cpu.trace import CoherenceTrace
 from ..cpu.trace_io import dump_trace, load_trace
 from ..macrochip.config import MacrochipConfig, scaled_config
+from ..macrochip.configio import config_to_dict
 from ..networks.factory import FIGURE7_NETWORKS
 from ..workloads.replay import replay
+
+_MANIFEST_VERSION = 1
+_MANIFEST_NAME = "manifest.json"
+
+
+class CampaignStateError(RuntimeError):
+    """The campaign directory was produced by different parameters."""
+
+
+def campaign_fingerprint(preset: Preset,
+                         config: MacrochipConfig) -> Dict[str, Any]:
+    """The JSON document that uniquely identifies what a campaign ran:
+    the preset sizing plus the *full* configuration (every field, not
+    just overrides, so a change in defaults is also caught)."""
+    return {
+        "version": _MANIFEST_VERSION,
+        "preset": {
+            "name": preset.name,
+            "kernel_refs_per_core": preset.kernel_refs_per_core,
+            "synthetic_ops_per_core": preset.synthetic_ops_per_core,
+        },
+        "config": config_to_dict(config, full=True),
+    }
 
 
 @dataclass(frozen=True)
@@ -40,6 +77,24 @@ class CampaignEntry:
     ops_completed: int
     messages_sent: int
     energy_by_category: Dict[str, float]
+    events_dispatched: int = 0
+
+
+def _replay_entry(trace: CoherenceTrace, network: str,
+                  config: MacrochipConfig) -> CampaignEntry:
+    """Replay one pair and flatten it to a cacheable entry (picklable
+    shard body; the parent process does all file writes)."""
+    result = replay(trace, network, config)
+    return CampaignEntry(
+        workload=trace.workload,
+        network=network,
+        runtime_ps=result.runtime_ps,
+        mean_op_latency_ns=result.mean_op_latency_ns,
+        ops_completed=result.ops_completed,
+        messages_sent=result.messages_sent,
+        energy_by_category=result.energy_by_category,
+        events_dispatched=result.events_dispatched,
+    )
 
 
 class Campaign:
@@ -47,14 +102,67 @@ class Campaign:
 
     def __init__(self, directory: str,
                  preset_name: str = "quick",
-                 config: MacrochipConfig = None) -> None:
+                 config: MacrochipConfig = None,
+                 workers: int = 1,
+                 on_stale: str = "error") -> None:
+        if on_stale not in ("error", "rebuild"):
+            raise ValueError("on_stale must be 'error' or 'rebuild', got %r"
+                             % on_stale)
         self.directory = directory
         self.preset = PRESETS[preset_name]
         self.config = config or scaled_config()
+        self.workers = workers
         self.traces_dir = os.path.join(directory, "traces")
         self.results_dir = os.path.join(directory, "results")
         os.makedirs(self.traces_dir, exist_ok=True)
         os.makedirs(self.results_dir, exist_ok=True)
+        self._check_manifest(on_stale)
+
+    # -- manifest ------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, _MANIFEST_NAME)
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return campaign_fingerprint(self.preset, self.config)
+
+    def _check_manifest(self, on_stale: str) -> None:
+        """Validate the cache against this campaign's parameters; write
+        the manifest on first use."""
+        expected = self.fingerprint()
+        if os.path.exists(self.manifest_path):
+            with open(self.manifest_path) as fh:
+                found = json.load(fh)
+            if found == expected:
+                return
+            if on_stale == "error":
+                raise CampaignStateError(
+                    "campaign directory %r was produced by a different "
+                    "preset/config (manifest mismatch); rerun with "
+                    "on_stale='rebuild' to discard the stale cache, or "
+                    "point the campaign at a fresh directory"
+                    % self.directory)
+            # on_stale == 'rebuild': discard everything the old
+            # parameters produced
+            shutil.rmtree(self.traces_dir, ignore_errors=True)
+            shutil.rmtree(self.results_dir, ignore_errors=True)
+            os.makedirs(self.traces_dir, exist_ok=True)
+            os.makedirs(self.results_dir, exist_ok=True)
+        elif self.completed_pairs() or os.listdir(self.traces_dir):
+            # pre-manifest cache of unknown provenance: same policy
+            if on_stale == "error":
+                raise CampaignStateError(
+                    "campaign directory %r has cached files but no "
+                    "manifest; cannot verify they match this "
+                    "preset/config.  Rerun with on_stale='rebuild' to "
+                    "discard them" % self.directory)
+            shutil.rmtree(self.traces_dir, ignore_errors=True)
+            shutil.rmtree(self.results_dir, ignore_errors=True)
+            os.makedirs(self.traces_dir, exist_ok=True)
+            os.makedirs(self.results_dir, exist_ok=True)
+        with open(self.manifest_path, "w") as fh:
+            json.dump(expected, fh, indent=2, sort_keys=True)
 
     # -- traces --------------------------------------------------------------
 
@@ -62,26 +170,28 @@ class Campaign:
         return os.path.join(self.traces_dir, "%s.json" % workload)
 
     def ensure_traces(self,
-                      progress: Optional[Callable[[str], None]] = None
+                      progress: Optional[Callable[[str], None]] = None,
+                      workers: Optional[int] = None
                       ) -> Dict[str, CoherenceTrace]:
-        """Load cached traces; CPU-simulate and cache any that are
-        missing."""
+        """Load cached traces; CPU-simulate and cache **only** the
+        missing workloads (a partially populated cache is resumed, never
+        rebuilt from scratch)."""
         cached: Dict[str, CoherenceTrace] = {}
-        missing = False
-        from .evaluation import WORKLOAD_ORDER
-
+        missing: List[str] = []
         for workload in WORKLOAD_ORDER:
             path = self._trace_path(workload)
             if os.path.exists(path):
                 cached[workload] = load_trace(path)
             else:
-                missing = True
+                missing.append(workload)
         if missing:
-            fresh = build_traces(self.preset, self.config, progress)
+            fresh = build_traces(
+                self.preset, self.config, progress,
+                workloads=missing,
+                workers=self.workers if workers is None else workers)
             for workload, trace in fresh.items():
-                if workload not in cached:
-                    dump_trace(trace, self._trace_path(workload))
-                    cached[workload] = trace
+                dump_trace(trace, self._trace_path(workload))
+                cached[workload] = trace
         return cached
 
     # -- results -------------------------------------------------------------
@@ -98,13 +208,17 @@ class Campaign:
     def run(self,
             networks: Optional[List[str]] = None,
             workloads: Optional[List[str]] = None,
-            progress: Optional[Callable[[str], None]] = None
+            progress: Optional[Callable[[str], None]] = None,
+            workers: Optional[int] = None
             ) -> Dict[str, Dict[str, CampaignEntry]]:
         """Replay every missing (workload, network) pair; return the
-        complete grid (cached + fresh)."""
+        complete grid (cached + fresh).  Missing pairs shard across
+        ``workers`` processes (defaulting to the campaign's setting)."""
         nets = networks or list(FIGURE7_NETWORKS)
-        traces = self.ensure_traces(progress)
+        n_workers = self.workers if workers is None else workers
+        traces = self.ensure_traces(progress, workers=n_workers)
         grid: Dict[str, Dict[str, CampaignEntry]] = {}
+        todo: List[Shard] = []
         for workload, trace in traces.items():
             if workloads is not None and workload not in workloads:
                 continue
@@ -116,19 +230,15 @@ class Campaign:
                     continue
                 if progress:
                     progress("replay %s on %s" % (workload, net))
-                result = replay(trace, net, self.config)
-                entry = CampaignEntry(
-                    workload=workload,
-                    network=net,
-                    runtime_ps=result.runtime_ps,
-                    mean_op_latency_ns=result.mean_op_latency_ns,
-                    ops_completed=result.ops_completed,
-                    messages_sent=result.messages_sent,
-                    energy_by_category=result.energy_by_category,
-                )
-                with open(path, "w") as fh:
-                    json.dump(entry.__dict__, fh)
-                grid[workload][net] = entry
+                todo.append(Shard(
+                    _replay_entry, args=(trace, net, self.config),
+                    label="replay %s on %s" % (workload, net)))
+        run = run_sharded(todo, workers=n_workers)
+        for entry in run.results:
+            with open(self._result_path(entry.workload,
+                                        entry.network), "w") as fh:
+                json.dump(entry.__dict__, fh)
+            grid[entry.workload][entry.network] = entry
         return grid
 
     def completed_pairs(self) -> int:

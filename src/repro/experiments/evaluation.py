@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..core.parallel import Shard, run_sharded
 from ..cpu.system import generate_trace
 from ..cpu.trace import CoherenceTrace
 from ..macrochip.config import MacrochipConfig, scaled_config
@@ -79,38 +80,72 @@ class SuiteResult:
         return [n for n in FIGURE7_NETWORKS if n in present]
 
 
+def _kernel_trace_task(kernel_cls, refs_per_core: int,
+                       config: MacrochipConfig) -> CoherenceTrace:
+    """CPU-simulate one application kernel (picklable shard body)."""
+    return generate_trace(kernel_cls(refs_per_core=refs_per_core), config)
+
+
+def _synthetic_trace_task(name: str, pattern_key: str, mix_name: str,
+                          ops_per_core: int,
+                          config: MacrochipConfig) -> CoherenceTrace:
+    """Synthesize one coherence benchmark trace (picklable shard body)."""
+    spec = SyntheticCoherenceSpec(name, ops_per_core=ops_per_core)
+    pattern = make_pattern(pattern_key, config.layout)
+    trace = generate_synthetic_trace(spec, pattern,
+                                     mix_by_name(mix_name), config)
+    trace.workload = name
+    return trace
+
+
 def build_traces(preset: Preset,
                  config: MacrochipConfig,
-                 progress: Optional[Callable[[str], None]] = None
-                 ) -> Dict[str, CoherenceTrace]:
-    """Generate every workload's coherence trace (CPU simulation runs
-    once per workload; replays reuse the trace)."""
-    traces: Dict[str, CoherenceTrace] = {}
+                 progress: Optional[Callable[[str], None]] = None,
+                 workloads: Optional[List[str]] = None,
+                 workers: int = 1) -> Dict[str, CoherenceTrace]:
+    """Generate coherence traces (CPU simulation runs once per workload;
+    replays reuse the trace).
+
+    ``workloads`` restricts generation to the named subset (the campaign
+    cache uses this to rebuild only what is missing); ``workers`` shards
+    the independent per-workload simulations across processes.
+    """
+    shards: List[Shard] = []
+    names: List[str] = []
     for kernel_cls in FIGURE7_KERNELS:
-        kernel = kernel_cls(refs_per_core=preset.kernel_refs_per_core)
-        if progress:
-            progress("cpu-sim %s" % kernel.name)
-        traces[kernel.name] = generate_trace(kernel, config)
+        if workloads is not None and kernel_cls.name not in workloads:
+            continue
+        names.append(kernel_cls.name)
+        shards.append(Shard(
+            _kernel_trace_task,
+            args=(kernel_cls, preset.kernel_refs_per_core, config),
+            label="cpu-sim %s" % kernel_cls.name))
     for name, pattern_key, mix_name in FIGURE7_SYNTHETIC:
-        if progress:
-            progress("synthesize %s" % name)
-        spec = SyntheticCoherenceSpec(
-            name, ops_per_core=preset.synthetic_ops_per_core)
-        pattern = make_pattern(pattern_key, config.layout)
-        trace = generate_synthetic_trace(spec, pattern,
-                                         mix_by_name(mix_name), config)
-        trace.workload = name
-        traces[name] = trace
-    return traces
+        if workloads is not None and name not in workloads:
+            continue
+        names.append(name)
+        shards.append(Shard(
+            _synthetic_trace_task,
+            args=(name, pattern_key, mix_name,
+                  preset.synthetic_ops_per_core, config),
+            label="synthesize %s" % name))
+    run = run_sharded(shards, workers=workers, progress=progress)
+    return dict(zip(names, run.results))
 
 
 def run_suite(preset_name: str = "quick",
               config: MacrochipConfig = None,
               networks: Optional[List[str]] = None,
               workloads: Optional[List[str]] = None,
-              progress: Optional[Callable[[str], None]] = None
-              ) -> SuiteResult:
-    """Run the full (or filtered) benchmark suite."""
+              progress: Optional[Callable[[str], None]] = None,
+              workers: int = 1) -> SuiteResult:
+    """Run the full (or filtered) benchmark suite.
+
+    With ``workers > 1`` both stages parallelize: trace generation shards
+    per workload, and the replay grid shards per (workload, network)
+    pair.  Every simulation is independently seeded by its arguments, so
+    the grid is identical to a serial run.
+    """
     try:
         preset = PRESETS[preset_name]
     except KeyError:
@@ -118,14 +153,18 @@ def run_suite(preset_name: str = "quick",
                        % (preset_name, ", ".join(PRESETS))) from None
     cfg = config or scaled_config()
     nets = networks or list(FIGURE7_NETWORKS)
-    traces = build_traces(preset, cfg, progress)
+    traces = build_traces(preset, cfg, progress,
+                          workloads=workloads, workers=workers)
     suite = SuiteResult(preset=preset.name, config=cfg, traces=traces)
-    for workload, trace in traces.items():
-        if workloads is not None and workload not in workloads:
-            continue
-        suite.results[workload] = {}
-        for net in nets:
-            if progress:
-                progress("replay %s on %s" % (workload, net))
-            suite.results[workload][net] = replay(trace, net, cfg)
+    pairs = [(workload, net) for workload in traces for net in nets]
+    shards = [
+        Shard(replay, args=(traces[workload], net, cfg),
+              label="replay %s on %s" % (workload, net))
+        for workload, net in pairs
+    ]
+    run = run_sharded(shards, workers=workers, progress=progress)
+    if progress:
+        progress(run.summary())
+    for (workload, net), result in zip(pairs, run.results):
+        suite.results.setdefault(workload, {})[net] = result
     return suite

@@ -12,7 +12,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.tables import render_series, render_table
-from ..core.sweep import SweepPoint, sweep
+from ..core.parallel import Shard, run_sharded
+from ..core.sweep import SweepPoint, run_load_point, to_sweep_point
 from ..macrochip.config import MacrochipConfig, scaled_config
 from ..networks.factory import FIGURE6_NETWORKS, NETWORK_CLASSES
 from ..workloads.synthetic import make_pattern
@@ -65,26 +66,41 @@ def run_figure6(config: MacrochipConfig = None,
                 patterns: Optional[List[str]] = None,
                 networks: Optional[List[str]] = None,
                 load_grids: Optional[Dict[str, List[float]]] = None,
-                progress=None) -> Figure6Result:
+                progress=None,
+                workers: int = 1) -> Figure6Result:
     """Run the Figure 6 sweeps.
 
     ``window_ns`` controls fidelity (injection window per load point);
-    patterns/networks/load grids can be filtered for quick runs.
+    patterns/networks/load grids can be filtered for quick runs.  With
+    ``workers > 1`` the whole (pattern, network, load) grid flattens
+    into one shard list — each load point is an independent, seeded
+    simulation — so curves are bit-identical to a serial run.
     """
     cfg = config or scaled_config()
     result = Figure6Result(window_ns=window_ns)
     pats = patterns or PANEL_ORDER
     nets = networks or list(FIGURE6_NETWORKS)
     grids = load_grids or LOAD_GRIDS
+    keys = []
+    shards = []
     for pattern_key in pats:
         result.curves[pattern_key] = {}
         for net in nets:
-            if progress:
-                progress("figure6 %s / %s" % (pattern_key, net))
+            result.curves[pattern_key][net] = []
             pattern = make_pattern(pattern_key, cfg.layout)
-            points = sweep(net, cfg, pattern, grids[pattern_key],
-                           window_ns=window_ns)
-            result.curves[pattern_key][net] = points
+            for fraction in grids[pattern_key]:
+                keys.append((pattern_key, net))
+                shards.append(Shard(
+                    run_load_point,
+                    args=(net, cfg, pattern, fraction),
+                    kwargs=dict(window_ns=window_ns),
+                    label="figure6 %s/%s @%.3f"
+                          % (pattern_key, net, fraction)))
+    run = run_sharded(shards, workers=workers, progress=progress)
+    if progress:
+        progress(run.summary())
+    for (pattern_key, net), point in zip(keys, run.results):
+        result.curves[pattern_key][net].append(to_sweep_point(point, cfg))
     return result
 
 
@@ -121,6 +137,11 @@ if __name__ == "__main__":  # pragma: no cover
     import sys
 
     quick = "--quick" in sys.argv
+    n_workers = 1
+    for arg in sys.argv[1:]:
+        if arg.startswith("--workers="):
+            n_workers = int(arg.split("=", 1)[1])
     res = run_figure6(window_ns=400.0 if quick else 1200.0,
-                      progress=lambda m: print("..", m, file=sys.stderr))
+                      progress=lambda m: print("..", m, file=sys.stderr),
+                      workers=n_workers)
     print(figure6_text(res))

@@ -114,9 +114,13 @@ if __name__ == "__main__":  # pragma: no cover
     from .evaluation import run_suite
 
     preset = "quick"
+    n_workers = 1
     for arg in sys.argv[1:]:
         if arg.startswith("--preset="):
             preset = arg.split("=", 1)[1]
+        elif arg.startswith("--workers="):
+            n_workers = int(arg.split("=", 1)[1])
     suite = run_suite(preset,
-                      progress=lambda m: print("..", m, file=sys.stderr))
+                      progress=lambda m: print("..", m, file=sys.stderr),
+                      workers=n_workers)
     print(all_figures_text(suite))

@@ -22,6 +22,7 @@ from .evaluation import run_suite
 from .figure6 import figure6_text, run_figure6
 from .figures7_10 import all_figures_text
 from .table_experiments import all_tables_text
+from ..core.parallel import resolve_workers
 
 
 def _progress(message: str) -> None:
@@ -29,16 +30,17 @@ def _progress(message: str) -> None:
 
 
 def generate(artifact: str, preset: str,
-              window_ns: float) -> Dict[str, str]:
+              window_ns: float, workers: int = 1) -> Dict[str, str]:
     """Produce {artifact_name: text} for the requested artifact set."""
     outputs: Dict[str, str] = {}
     if artifact in ("tables", "all"):
         outputs["tables"] = all_tables_text()
     if artifact in ("figure6", "all"):
-        result = run_figure6(window_ns=window_ns, progress=_progress)
+        result = run_figure6(window_ns=window_ns, progress=_progress,
+                             workers=workers)
         outputs["figure6"] = figure6_text(result)
     if artifact in ("figures", "all"):
-        suite = run_suite(preset, progress=_progress)
+        suite = run_suite(preset, progress=_progress, workers=workers)
         outputs["figures7_10"] = all_figures_text(suite)
     if not outputs:
         raise SystemExit("unknown artifact %r (tables|figure6|figures|all)"
@@ -58,6 +60,10 @@ def main(argv=None) -> int:
                         help="injection window for figure 6 load points")
     parser.add_argument("--out", default=None,
                         help="directory to write one .txt per artifact")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for independent "
+                             "simulations (0 = one per CPU; results are "
+                             "identical to --workers 1)")
     args = parser.parse_args(argv)
 
     window = args.window_ns
@@ -65,7 +71,10 @@ def main(argv=None) -> int:
         window = {"smoke": 200.0, "quick": 500.0, "full": 1200.0}[args.preset]
 
     started = time.time()
-    outputs = generate(args.artifact, args.preset, window)
+    workers = resolve_workers(args.workers)
+    if workers > 1:
+        print(".. sharding across %d workers" % workers, file=sys.stderr)
+    outputs = generate(args.artifact, args.preset, window, workers=workers)
     for name, text in outputs.items():
         print()
         print("=" * 72)

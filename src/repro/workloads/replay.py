@@ -39,6 +39,8 @@ class ReplayResult:
     messages_sent: int
     op_latency: LatencySample
     energy_by_category: Dict[str, float]
+    #: simulator events dispatched (deterministic; used for telemetry)
+    events_dispatched: int = 0
 
     @property
     def runtime_ns(self) -> float:
@@ -89,7 +91,7 @@ class TraceReplayer:
             if ops:
                 self.sim.at(ops[0].gap_cycles * cycle,
                             self._issue, core, state)
-        self.sim.run()
+        events = self.sim.run()
         return ReplayResult(
             network=self.network.name,
             workload=self.trace.workload,
@@ -98,6 +100,7 @@ class TraceReplayer:
             messages_sent=self._messages,
             op_latency=self._op_latency,
             energy_by_category=self.network.stats.energy.categories(),
+            events_dispatched=events,
         )
 
     # -- core state machine ----------------------------------------------------

@@ -18,6 +18,7 @@ probe directly.
 
 from __future__ import annotations
 
+import copy
 import random
 from typing import List
 
@@ -41,6 +42,18 @@ class TrafficPattern:
 
     def reseed(self, seed: int) -> None:
         self.rng.seed(seed)
+
+    def split(self, seed: int) -> "TrafficPattern":
+        """A shallow copy with an independent RNG stream.
+
+        The sweep harness gives every injection site its own split so a
+        site's destination draws depend only on (seed, site) — never on
+        how other sites' events interleave.  Sharing ``layout`` (and any
+        other derived fields) is safe: patterns only read them.
+        """
+        clone = copy.copy(self)
+        clone.rng = random.Random(seed)
+        return clone
 
 
 class UniformTraffic(TrafficPattern):

@@ -146,3 +146,52 @@ def test_horizon_partitions_events(times, horizon):
     sim.run(until_ps=horizon)
     assert fired == sorted(t for t in times if t <= horizon)
     assert sim.pending() == sum(1 for t in times if t > horizon)
+
+
+# -- horizon / stop edge cases (parallel shards lean on these semantics) -----
+
+def test_event_exactly_at_horizon_fires(sim):
+    fired = []
+    sim.at(100, fired.append, "edge")
+    sim.at(101, fired.append, "late")
+    sim.run(until_ps=100)
+    assert fired == ["edge"]
+    assert sim.now == 100
+
+
+def test_stop_prevents_clock_advance_to_horizon(sim):
+    sim.at(10, sim.stop)
+    sim.at(500, lambda: None)
+    sim.run(until_ps=1000)
+    # stop() freezes the clock at the stopping event, not the horizon
+    assert sim.now == 10
+    assert sim.pending() == 1
+
+
+def test_stop_flag_resets_between_runs(sim):
+    sim.at(10, sim.stop)
+    sim.run()
+    sim.at(20, lambda: None)
+    assert sim.run() == 1  # previous stop() must not halt a fresh run
+    assert sim.now == 20
+
+
+def test_empty_run_with_horizon_advances_clock(sim):
+    sim.run(until_ps=750)
+    assert sim.now == 750
+
+
+def test_horizon_at_now_is_noop_for_later_events(sim):
+    sim.at(5, lambda: None)
+    sim.run(until_ps=5)
+    assert sim.now == 5
+    sim.at(50, lambda: None)
+    assert sim.run(until_ps=5) == 0
+    assert sim.pending() == 1
+
+
+def test_dispatch_counts_accumulate_across_resumed_runs(sim):
+    for t in (10, 20, 30, 40):
+        sim.at(t, lambda: None)
+    assert sim.run(until_ps=20) == 2
+    assert sim.run() == 2

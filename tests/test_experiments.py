@@ -149,3 +149,41 @@ class TestFullScale:
 
         text = scaling_comparison()
         assert "64" in text and "8" in text
+
+
+class TestParallelDrivers:
+    """Serial-vs-parallel equivalence of the figure drivers (the
+    determinism contract of repro.core.parallel)."""
+
+    GRID = {"uniform": [0.05, 0.20]}
+
+    def test_figure6_workers_bit_identical(self):
+        cfg = small_test_config(2, 2)
+        serial = run_figure6(cfg, window_ns=100.0, patterns=["uniform"],
+                             networks=["point_to_point", "token_ring"],
+                             load_grids=self.GRID, workers=1)
+        parallel = run_figure6(cfg, window_ns=100.0, patterns=["uniform"],
+                               networks=["point_to_point", "token_ring"],
+                               load_grids=self.GRID, workers=2)
+        assert serial.curves == parallel.curves
+
+    def test_suite_workers_match_serial(self):
+        cfg = small_test_config(2, 2)
+        kwargs = dict(config=cfg, workloads=["All-to-all"],
+                      networks=["point_to_point"])
+        serial = run_suite("smoke", **kwargs)
+        parallel = run_suite("smoke", workers=2, **kwargs)
+        a = serial.results["All-to-all"]["point_to_point"]
+        b = parallel.results["All-to-all"]["point_to_point"]
+        assert a.runtime_ps == b.runtime_ps
+        assert a.ops_completed == b.ops_completed
+        assert a.messages_sent == b.messages_sent
+        assert a.events_dispatched == b.events_dispatched
+        assert a.energy_by_category == b.energy_by_category
+
+    def test_suite_workload_filter_builds_only_requested_traces(self):
+        cfg = small_test_config(2, 2)
+        suite = run_suite("smoke", config=cfg, workloads=["Radix"],
+                          networks=["point_to_point"])
+        assert list(suite.traces) == ["Radix"]
+        assert list(suite.results) == ["Radix"]

@@ -65,6 +65,14 @@ class TestRunCli:
         assert (tmp_path / "tables.txt").exists()
         assert "Table 6" in (tmp_path / "tables.txt").read_text()
 
+    def test_main_accepts_workers_flag(self, tmp_path):
+        from repro.experiments.run import main
+
+        rc = main(["--artifact", "tables", "--workers", "2",
+                   "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "tables.txt").exists()
+
 
 class TestTaxonomy:
     """Section 4.1's classification of optical network architectures."""

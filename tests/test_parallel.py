@@ -1,0 +1,158 @@
+"""Tests for the parallel shard runner and seed derivation
+(:mod:`repro.core.parallel`)."""
+
+import os
+
+import pytest
+
+from repro.core.parallel import (
+    Shard,
+    ShardReport,
+    derive_seed,
+    resolve_workers,
+    run_sharded,
+)
+from repro.core.sweep import run_load_point, sweep
+from repro.macrochip.config import small_test_config
+from repro.workloads.synthetic import UniformTraffic
+
+
+CFG = small_test_config(2, 2)
+
+
+# -- derive_seed --------------------------------------------------------------
+
+def test_derive_seed_is_deterministic():
+    assert derive_seed(42, "gap", 3) == derive_seed(42, "gap", 3)
+
+
+def test_derive_seed_distinguishes_components():
+    seeds = {
+        derive_seed(42),
+        derive_seed(42, "gap", 0),
+        derive_seed(42, "gap", 1),
+        derive_seed(42, "dst", 0),
+        derive_seed(43, "gap", 0),
+        derive_seed(42, "gap", "0"),  # int vs str must differ
+    }
+    assert len(seeds) == 6
+
+
+def test_derive_seed_fits_63_bits():
+    for site in range(50):
+        assert 0 <= derive_seed(12345, site) < 2 ** 63
+
+
+# -- resolve_workers ----------------------------------------------------------
+
+def test_resolve_workers_clamps_and_detects():
+    assert resolve_workers(4) == 4
+    assert resolve_workers(-3) == 1
+    assert resolve_workers(None) >= 1
+    assert resolve_workers(0) >= 1
+
+
+# -- run_sharded --------------------------------------------------------------
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError("boom %d" % x)
+
+
+def test_serial_results_in_submission_order():
+    run = run_sharded([Shard(_square, args=(i,), label="sq%d" % i)
+                       for i in range(5)], workers=1)
+    assert run.results == [0, 1, 4, 9, 16]
+    assert run.mode == "serial"
+    assert run.workers == 1
+
+
+def test_parallel_results_match_serial():
+    shards = [Shard(_square, args=(i,)) for i in range(8)]
+    serial = run_sharded(shards, workers=1)
+    parallel = run_sharded(shards, workers=2)
+    assert parallel.results == serial.results
+
+
+def test_reports_carry_telemetry():
+    run = run_sharded([Shard(_square, args=(3,), label="three")], workers=1)
+    (report,) = run.reports
+    assert isinstance(report, ShardReport)
+    assert report.label == "three"
+    assert report.index == 0
+    assert report.wall_clock_s >= 0
+    assert report.worker_pid == os.getpid()
+    assert run.total_shard_seconds >= 0
+    assert run.speedup > 0
+
+
+def test_progress_called_per_shard():
+    seen = []
+    run_sharded([Shard(_square, args=(i,)) for i in range(3)],
+                workers=1, progress=seen.append)
+    assert len(seen) == 3
+
+
+def test_exceptions_propagate():
+    with pytest.raises(ValueError, match="boom"):
+        run_sharded([Shard(_boom, args=(1,))], workers=1)
+    with pytest.raises(ValueError, match="boom"):
+        run_sharded([Shard(_square, args=(1,)), Shard(_boom, args=(2,))],
+                    workers=2)
+
+
+def test_empty_shard_list():
+    run = run_sharded([], workers=4)
+    assert run.results == []
+    assert run.reports == []
+
+
+def test_events_telemetry_from_load_points():
+    run = run_sharded([Shard(
+        run_load_point,
+        args=("point_to_point", CFG, UniformTraffic(CFG.layout), 0.05),
+        kwargs=dict(window_ns=100.0))], workers=1)
+    assert run.reports[0].events_dispatched > 0
+    assert run.total_events == run.reports[0].events_dispatched
+
+
+# -- the determinism contract on real sweeps ---------------------------------
+
+def test_load_point_results_bit_identical_serial_vs_parallel():
+    """The acceptance criterion: workers=1 and workers=4 produce
+    byte-identical LoadPointResults for the same grid."""
+    fractions = [0.02, 0.05, 0.10, 0.20]
+    pattern = UniformTraffic(CFG.layout)
+    shards = [Shard(run_load_point,
+                    args=("point_to_point", CFG, pattern, f),
+                    kwargs=dict(window_ns=150.0))
+              for f in fractions]
+    serial = run_sharded(shards, workers=1)
+    parallel = run_sharded(shards, workers=4)
+    assert serial.results == parallel.results  # dataclass field equality
+    for a, b in zip(serial.results, parallel.results):
+        assert repr(a) == repr(b)  # byte-identical rendering
+
+
+def test_sweep_workers_param_matches_serial():
+    pattern = UniformTraffic(CFG.layout)
+    serial = sweep("point_to_point", CFG, pattern, [0.02, 0.08],
+                   window_ns=150.0, workers=1)
+    parallel = sweep("point_to_point", CFG, pattern, [0.02, 0.08],
+                     window_ns=150.0, workers=2)
+    assert serial == parallel
+
+
+def test_load_point_independent_of_pattern_rng_state():
+    """Per-site streams derive from the seed, so the incoming pattern
+    object's RNG position cannot leak into results."""
+    pattern = UniformTraffic(CFG.layout)
+    a = run_load_point("point_to_point", CFG, pattern, 0.05,
+                       window_ns=150.0, seed=7)
+    pattern.rng.random()  # perturb the shared pattern's stream
+    b = run_load_point("point_to_point", CFG, pattern, 0.05,
+                       window_ns=150.0, seed=7)
+    assert a == b

@@ -133,6 +133,30 @@ class TestNetworkStats:
         assert summary["delivered"] == 1
         assert summary["mean_latency_ns"] == pytest.approx(1.0)
 
+    def test_post_window_deliveries_not_in_latency(self):
+        """Latency sampling shares the throughput meter's measurement
+        window: drain-phase deliveries (after window_end_ps) count as
+        delivered but must not bias mean/p99 latency (the saturated
+        load points of Figure 6)."""
+        s = NetworkStats(warmup_ps=0, window_end_ps=2000)
+        s.on_deliver(now_ps=1500, inject_ps=500, size_bytes=64)   # in window
+        s.on_deliver(now_ps=9000, inject_ps=500, size_bytes=64)   # drain
+        assert s.delivered_packets == 2
+        assert len(s.latency) == 1
+        assert s.latency.mean_ps == 1000
+        assert s.throughput.packets == 1
+
+    def test_window_end_set_after_construction(self):
+        """The sweep harness sets window_end_ps on the throughput meter
+        after building the network; latency clamping must follow it."""
+        s = NetworkStats(warmup_ps=100)
+        s.throughput.window_end_ps = 2000
+        s.on_deliver(now_ps=50, inject_ps=0, size_bytes=64)     # warmup
+        s.on_deliver(now_ps=2000, inject_ps=0, size_bytes=64)   # boundary
+        s.on_deliver(now_ps=2001, inject_ps=0, size_bytes=64)   # drain
+        assert len(s.latency) == 1
+        assert s.latency.mean_ps == 2000
+
 
 def test_mean_helper():
     assert mean([1.0, 2.0, 3.0]) == 2.0
