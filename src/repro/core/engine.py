@@ -46,6 +46,13 @@ class Simulator:
         self._stopped = False
         #: Optional callable(time_ps, fn, args) invoked before each dispatch;
         #: used by tests and debugging tools.
+        #:
+        #: Contract (pinned by test_engine.py): the hook fires for *every*
+        #: dispatched event — including the event whose callback requests
+        #: ``stop()`` and events whose callbacks raise.  ``stop()`` takes
+        #: effect only after the current callback returns, and no further
+        #: events are dispatched (hence none traced) until the next
+        #: ``run()``: dispatch and trace never disagree.
         self.trace: Optional[Callable[[int, Callable, tuple], None]] = None
 
     @property

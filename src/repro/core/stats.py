@@ -181,6 +181,14 @@ class NetworkStats:
         self.delivered_packets = 0
         self.dropped_packets = 0
 
+    @property
+    def in_flight(self) -> int:
+        """Packets accepted but not yet delivered (or dropped).  A fully
+        drained run must end at zero; the invariant checkers
+        (:mod:`repro.core.invariants`) cross-validate this against the
+        recorded trace."""
+        return self.injected_packets - self.delivered_packets - self.dropped_packets
+
     def on_inject(self) -> None:
         self.injected_packets += 1
 

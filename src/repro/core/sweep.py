@@ -21,6 +21,7 @@ from typing import Callable, List, Optional
 
 from .engine import Simulator
 from .parallel import Shard, derive_seed, run_sharded
+from .tracing import TraceRecorder
 from .units import serialization_ps
 from ..macrochip.config import MacrochipConfig
 from ..networks.base import Packet
@@ -64,7 +65,9 @@ def run_load_point(network_name: str,
                    seed: int = 12345,
                    drain_factor: float = 1.0,
                    warmup_fraction: float = 0.25,
-                   network_kwargs: Optional[dict] = None) -> LoadPointResult:
+                   network_kwargs: Optional[dict] = None,
+                   tracer: Optional[TraceRecorder] = None,
+                   check_invariants: bool = False) -> LoadPointResult:
     """Simulate one point of a latency-vs-load curve.
 
     ``offered_fraction`` is per-site offered load as a fraction of the
@@ -74,6 +77,15 @@ def run_load_point(network_name: str,
     a saturated network cannot dilute the sustained rate.  The run then
     drains for up to ``drain_factor`` extra windows (a saturated network
     never finishes, which is the point).
+
+    ``tracer`` attaches a :class:`~repro.core.tracing.TraceRecorder` to
+    the network for the run; ``check_invariants=True`` additionally runs
+    every invariant checker over the recorded trace afterwards and raises
+    :class:`~repro.core.invariants.InvariantViolation` on a breach
+    (conservation is checked in exactly-once form only — the bounded
+    drain horizon legitimately leaves saturated runs with packets in
+    flight).  Both keywords pass through ``sweep(...)`` to every load
+    point of a curve.
     """
     if not 0.0 < offered_fraction:
         raise ValueError("offered load must be positive")
@@ -87,6 +99,10 @@ def run_load_point(network_name: str,
 
     net = build_network(network_name, config, sim, warmup_ps=warmup_ps,
                         **(network_kwargs or {}))
+    if check_invariants and tracer is None:
+        tracer = TraceRecorder()
+    if tracer is not None:
+        net.set_tracer(tracer)
     net.stats.throughput.window_end_ps = inject_window_ps
     # Every site draws gaps and destinations from its own derived RNG
     # streams, so site k's traffic depends only on (seed, k) — never on
@@ -110,6 +126,16 @@ def run_load_point(network_name: str,
 
     horizon = int(inject_window_ps * (1.0 + drain_factor))
     events = sim.run(until_ps=horizon)
+
+    if check_invariants:
+        from .invariants import InvariantViolation, check_trace
+
+        problems = check_trace(tracer.events,
+                               capacities=net.invariant_capacities(),
+                               stats=net.stats,
+                               expect_drained=False)
+        if problems:
+            raise InvariantViolation(problems)
 
     stats = net.stats
     delivered = stats.delivered_packets

@@ -20,10 +20,12 @@ single-cycle electrical loopback, as the paper models it (section 6.2).
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional
 
+from ..core import tracing
 from ..core.engine import Simulator
 from ..core.stats import NetworkStats
+from ..core.tracing import TraceRecorder
 from ..core.units import serialization_ps
 from ..macrochip.config import MacrochipConfig
 from ..photonics.power import transmit_energy_pj
@@ -70,10 +72,11 @@ class Channel:
     """
 
     __slots__ = ("sim", "bandwidth_gb_per_s", "propagation_ps", "next_free",
-                 "busy_ps", "name")
+                 "busy_ps", "name", "tracer")
 
     def __init__(self, sim: Simulator, bandwidth_gb_per_s: float,
-                 propagation_ps: int, name: str = "") -> None:
+                 propagation_ps: int, name: str = "",
+                 tracer: Optional[TraceRecorder] = None) -> None:
         if bandwidth_gb_per_s <= 0:
             raise ValueError("channel bandwidth must be positive")
         if propagation_ps < 0:
@@ -84,6 +87,7 @@ class Channel:
         self.next_free = 0
         self.busy_ps = 0
         self.name = name
+        self.tracer = tracer
 
     def serialization_ps(self, size_bytes: int) -> int:
         return serialization_ps(size_bytes, self.bandwidth_gb_per_s)
@@ -100,6 +104,17 @@ class Channel:
         self.next_free = start + tx
         self.busy_ps += tx
         arrival = start + tx + self.propagation_ps
+        if self.tracer is not None:
+            pid = packet.pid
+            self.tracer.emit(self.sim.now, tracing.ENQUEUE, pid=pid,
+                             resource=self.name, start_ps=start,
+                             end_ps=start + tx)
+            self.tracer.emit(start, tracing.TX_START, pid=pid,
+                             resource=self.name, start_ps=start,
+                             end_ps=start + tx)
+            self.tracer.emit(start + tx, tracing.TX_END, pid=pid,
+                             resource=self.name, start_ps=start,
+                             end_ps=arrival)
         self.sim.at(arrival, on_arrival, packet)
         return arrival
 
@@ -126,6 +141,11 @@ class InterSiteNetwork:
         self.sim = sim
         self.stats = NetworkStats(warmup_ps)
         self._sink: Optional[Callable[[Packet], None]] = None
+        #: optional structured-event recorder (repro.core.tracing); None
+        #: by default so the hot paths pay one attribute test and nothing
+        #: else.  Attach with set_tracer()/tracing.attach().
+        self.tracer: Optional[TraceRecorder] = None
+        self._owned_channels: List[Channel] = []
 
     # -- public interface -------------------------------------------------
 
@@ -133,10 +153,29 @@ class InterSiteNetwork:
         """Register the callback invoked for every delivered packet."""
         self._sink = sink
 
+    def set_tracer(self, tracer: Optional[TraceRecorder]) -> None:
+        """Attach (or detach, with None) a structured-event recorder.
+
+        Covers channels created both before and after the attachment —
+        networks build channels lazily, so both orders occur.
+        """
+        self.tracer = tracer
+        for ch in self._owned_channels:
+            ch.tracer = tracer
+
+    def invariant_capacities(self) -> Dict[str, int]:
+        """Per-resource grant capacities for the exclusivity checker;
+        resources not listed default to capacity 1."""
+        return {}
+
     def inject(self, packet: Packet) -> None:
         """Accept a packet for delivery.  Subclasses route it."""
         packet.t_inject = self.sim.now
         self.stats.on_inject()
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, tracing.INJECT, pid=packet.pid,
+                             src=packet.src, dst=packet.dst,
+                             size_bytes=packet.size_bytes)
         if packet.src == packet.dst:
             self.sim.schedule(self.config.loopback_latency_ps,
                               self._deliver, packet)
@@ -150,10 +189,23 @@ class InterSiteNetwork:
 
     # -- shared helpers ----------------------------------------------------
 
+    def _new_channel(self, bandwidth_gb_per_s: float, propagation_ps: int,
+                     name: str) -> Channel:
+        """Create a channel wired to this network's tracer (if any) and
+        tracked so a later set_tracer() reaches it too."""
+        ch = Channel(self.sim, bandwidth_gb_per_s, propagation_ps,
+                     name=name, tracer=self.tracer)
+        self._owned_channels.append(ch)
+        return ch
+
     def _deliver(self, packet: Packet) -> None:
         """Record stats and hand the packet to the sink.  Subclasses call
         this (directly or via Channel callbacks) at arrival time."""
         packet.t_deliver = self.sim.now
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, tracing.DELIVER, pid=packet.pid,
+                             src=packet.src, dst=packet.dst,
+                             size_bytes=packet.size_bytes)
         self.stats.on_deliver(self.sim.now, packet.t_inject, packet.size_bytes)
         self._account_optical_energy(packet)
         if packet.on_delivered is not None:

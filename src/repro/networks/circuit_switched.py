@@ -32,6 +32,7 @@ from collections import deque
 from typing import Deque, Dict, List
 
 from .base import Channel, InterSiteNetwork, Packet
+from ..core import tracing
 from ..core.engine import Simulator
 from ..core.units import propagation_ps
 from ..macrochip.config import MacrochipConfig
@@ -93,10 +94,14 @@ class CircuitSwitchedTorus(InterSiteNetwork):
     def _rx_port(self, dst: int) -> Channel:
         port = self._rx_ports.get(dst)
         if port is None:
-            port = Channel(self.sim, self.data_gb_per_s, 0,
-                           name="cs-rx[%d]" % dst)
+            port = self._new_channel(self.data_gb_per_s, 0,
+                                     name="cs-rx[%d]" % dst)
             self._rx_ports[dst] = port
         return port
+
+    def invariant_capacities(self) -> Dict[str, int]:
+        return {"engine:%d" % s: self.engines_per_site
+                for s in range(self.config.num_sites)}
 
     # -- routing -----------------------------------------------------------
 
@@ -105,8 +110,14 @@ class CircuitSwitchedTorus(InterSiteNetwork):
         src = packet.src
         if self._engines_free[src] > 0:
             self._engines_free[src] -= 1
+            if self.tracer is not None:
+                self.tracer.emit(self.sim.now, tracing.GRANT, pid=packet.pid,
+                                 resource="engine:%d" % src)
             self._begin_setup(packet)
         else:
+            if self.tracer is not None:
+                self.tracer.emit(self.sim.now, tracing.ENQUEUE,
+                                 pid=packet.pid, resource="engine:%d" % src)
             self._engine_queue[src].append(packet)
 
     def _begin_setup(self, packet: Packet) -> None:
@@ -125,14 +136,30 @@ class CircuitSwitchedTorus(InterSiteNetwork):
         done_at_src = start + tx
         port.next_free = done_at_src + flight
         port.busy_ps += tx
+        if self.tracer is not None:
+            # destination ingress occupancy, in arrival-side time (what
+            # port.next_free serializes): the interval the last-hop
+            # receiver is busy with this packet's bits
+            self.tracer.emit(self.sim.now, tracing.GRANT, pid=packet.pid,
+                             src=packet.src, dst=packet.dst,
+                             resource=port.name,
+                             start_ps=start + flight,
+                             end_ps=done_at_src + flight)
         self.sim.at(done_at_src + flight, self._deliver, packet)
         # the engine is freed once data has left and teardown is issued
         self.sim.at(done_at_src + self.teardown_ps,
                     self._release_engine, packet.src)
 
     def _release_engine(self, src: int) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, tracing.RELEASE,
+                             resource="engine:%d" % src)
         queue = self._engine_queue[src]
         if queue:
-            self._begin_setup(queue.popleft())
+            packet = queue.popleft()
+            if self.tracer is not None:
+                self.tracer.emit(self.sim.now, tracing.GRANT, pid=packet.pid,
+                                 resource="engine:%d" % src)
+            self._begin_setup(packet)
         else:
             self._engines_free[src] += 1

@@ -63,9 +63,9 @@ class ElectricalBaselineNetwork(InterSiteNetwork):
         key = (src, dst)
         ch = self._channels.get(key)
         if ch is None:
-            ch = Channel(self.sim, self.channel_gb_per_s,
-                         self.propagation_ps(src, dst),
-                         name="elec[%d->%d]" % key)
+            ch = self._new_channel(self.channel_gb_per_s,
+                                   self.propagation_ps(src, dst),
+                                   name="elec[%d->%d]" % key)
             self._channels[key] = ch
         return ch
 

@@ -75,8 +75,7 @@ class LimitedPointToPointNetwork(InterSiteNetwork):
         key = (src, dst)
         ch = self._channels.get(key)
         if ch is None:
-            ch = Channel(
-                self.sim,
+            ch = self._new_channel(
                 self.channel_gb_per_s,
                 self.propagation_ps(src, dst),
                 name="lp2p[%d->%d]" % key,

@@ -43,8 +43,7 @@ class PointToPointNetwork(InterSiteNetwork):
         key = (src, dst)
         ch = self._channels.get(key)
         if ch is None:
-            ch = Channel(
-                self.sim,
+            ch = self._new_channel(
                 self.channel_gb_per_s,
                 self.propagation_ps(src, dst),
                 name="p2p[%d->%d]" % key,

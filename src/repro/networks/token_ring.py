@@ -31,6 +31,7 @@ from collections import deque
 from typing import Deque, Dict, List
 
 from .base import InterSiteNetwork, Packet
+from ..core import tracing
 from ..core.engine import Simulator
 from ..core.units import propagation_ps, serialization_ps
 from ..macrochip.config import MacrochipConfig
@@ -112,6 +113,9 @@ class TokenRingCrossbar(InterSiteNetwork):
         tok = self._token(packet.dst)
         tok.queues[self._snake_pos[packet.src]].append(packet)
         tok.waiting += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, tracing.ENQUEUE, pid=packet.pid,
+                             resource="token:%d" % packet.dst)
         if not tok.busy:
             tok.busy = True
             self._schedule_next_grant(packet.dst, tok)
@@ -169,6 +173,13 @@ class TokenRingCrossbar(InterSiteNetwork):
         # token is re-injected after the transmission slot + overhead
         tok.pos = src_pos
         tok.time_ps = self.sim.now + tx + self.grant_overhead_ps
+        if self.tracer is not None:
+            # the sender holds the destination's token from the grant
+            # until re-injection; holds on one token must never overlap
+            self.tracer.emit(self.sim.now, tracing.GRANT, pid=packet.pid,
+                             src=src_site, dst=dst,
+                             resource="token:%d" % dst,
+                             start_ps=self.sim.now, end_ps=tok.time_ps)
         tok.release_pos = src_pos
         tok.release_time = tok.time_ps
         tok.generation += 1

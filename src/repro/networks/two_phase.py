@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from .base import Channel, InterSiteNetwork, Packet
+from ..core import tracing
 from ..core.engine import Simulator
 from ..core.units import propagation_ps
 from ..macrochip.config import MacrochipConfig
@@ -90,8 +91,8 @@ class TwoPhaseArbitratedNetwork(InterSiteNetwork):
             # propagation: worst leg of the shared channel, row + column
             prop = propagation_ps(self.config.layout.row_span_cm / 2.0
                                   + self.config.layout.col_span_cm / 2.0)
-            ch = Channel(self.sim, self.channel_gb_per_s, prop,
-                         name="2ph[row=%d->%d]" % key)
+            ch = self._new_channel(self.channel_gb_per_s, prop,
+                                   name="2ph[row=%d->%d]" % key)
             self._channels[key] = ch
         return ch
 
@@ -129,6 +130,12 @@ class TwoPhaseArbitratedNetwork(InterSiteNetwork):
         dur = self.slot_duration_ps(packet.size_bytes)
         tr = max(earliest_tr, ch.next_free)
         ch.reserve(tr, dur)
+        if self.tracer is not None:
+            # slot reservation on the shared channel timeline: exclusive
+            # for [tr, tr+dur) whether or not the slot ends up used
+            self.tracer.emit(self.sim.now, tracing.GRANT, pid=packet.pid,
+                             resource="slot:" + ch.name,
+                             start_ps=tr, end_ps=tr + dur)
         self.sim.at(tr, self._slot_begins, packet, dur)
 
     def _slot_begins(self, packet: Packet, dur: int) -> None:
@@ -142,24 +149,35 @@ class TwoPhaseArbitratedNetwork(InterSiteNetwork):
         trees = self._tree_slots(packet.src, dst_col)
         now = self.sim.now
         best = None
-        for tree in trees:
+        for idx, tree in enumerate(trees):
             busy_until, configured_dst = tree
             lead = 0 if configured_dst == packet.dst else self.tree_reconfig_ps
             if busy_until + lead <= now:
                 # prefer an already-configured tree, else the longest idle
                 key = (0 if lead == 0 else 1, busy_until)
                 if best is None or key < best[0]:
-                    best = (key, tree)
+                    best = (key, tree, idx)
         if best is not None:
-            tree = best[1]
+            _, tree, idx = best
             tree[0] = now + dur
             tree[1] = packet.dst
             self.granted_slots += 1
+            if self.tracer is not None:
+                self.tracer.emit(now, tracing.GRANT, pid=packet.pid,
+                                 resource="tree:%d.%d/%d"
+                                 % (packet.src, dst_col, idx),
+                                 start_ps=now, end_ps=now + dur)
             arrival = now + dur + self.propagation_ps(packet.src, packet.dst)
             self.sim.at(arrival, self._deliver, packet)
             return
         # tree contention: the reserved slot is wasted, re-arbitrate
         self.wasted_slots += 1
+        if self.tracer is not None:
+            row, _ = self.config.layout.coords(packet.src)
+            self.tracer.emit(now, tracing.WASTE, pid=packet.pid,
+                             resource="slot:2ph[row=%d->%d]"
+                             % (row, packet.dst),
+                             start_ps=now, end_ps=now + dur)
         self.sim.schedule(ARB_SLOT_PS, self._arbitrate, packet)
 
 

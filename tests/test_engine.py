@@ -195,3 +195,99 @@ def test_dispatch_counts_accumulate_across_resumed_runs(sim):
         sim.at(t, lambda: None)
     assert sim.run(until_ps=20) == 2
     assert sim.run() == 2
+
+
+# -- determinism properties (the trace layer leans on these) -----------------
+
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=2,
+                max_size=60))
+def test_equal_timestamps_dispatch_in_scheduling_order(times):
+    """Ties are broken by scheduling order for ANY schedule: the tiny
+    time range forces heavy timestamp collisions."""
+    sim = Simulator()
+    fired = []
+    for idx, t in enumerate(times):
+        sim.at(t, fired.append, (t, idx))
+    sim.run()
+    assert fired == sorted(fired)  # time-major, then scheduling order
+    assert [t for t, _ in fired] == sorted(times)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=8), min_size=1,
+                max_size=40))
+def test_trace_hook_order_matches_dispatch_order(times):
+    sim = Simulator()
+    traced, fired = [], []
+    sim.trace = lambda t, fn, args: traced.append(args[0])
+    for idx, t in enumerate(times):
+        sim.at(t, fired.append, (t, idx))
+    sim.run()
+    assert traced == fired
+
+
+def test_identical_runs_produce_byte_identical_traces(small_config):
+    """Two identical traced network runs serialize to byte-identical
+    canonical trace records — the regression contract every refactor of
+    the engine or the networks must preserve."""
+    from repro.core.sweep import run_load_point
+    from repro.core.tracing import TraceRecorder
+    from repro.workloads.synthetic import UniformTraffic
+
+    def one_run():
+        rec = TraceRecorder()
+        run_load_point("token_ring", small_config,
+                       UniformTraffic(small_config.layout), 0.2,
+                       window_ns=60.0, seed=99, tracer=rec)
+        return b"\n".join(line.encode() for line in rec.canonical_lines())
+
+    first, second = one_run(), one_run()
+    assert len(first) > 0
+    assert first == second
+
+
+# -- the trace/stop() cutoff contract ----------------------------------------
+# stop() takes effect after the currently dispatching callback returns; no
+# event is dispatched afterwards, so dispatch and trace can never disagree.
+
+def test_trace_fires_for_the_stop_requesting_event(sim):
+    traced = []
+    sim.trace = lambda t, fn, args: traced.append(t)
+    sim.at(10, lambda: None)
+    sim.at(20, sim.stop)
+    sim.at(30, lambda: None)
+    sim.run()
+    # the stopping event itself is traced; nothing after it is dispatched
+    # or traced — the cutoff is identical for both
+    assert traced == [10, 20]
+    assert sim.pending() == 1
+
+
+def test_no_dispatch_hence_no_trace_after_stop(sim):
+    traced, fired = [], []
+    sim.trace = lambda t, fn, args: traced.append(t)
+
+    def stop_then_record():
+        sim.stop()
+        fired.append("stopper")
+
+    sim.at(5, stop_then_record)
+    sim.at(5, fired.append, "same-time-later")  # same timestamp, later seq
+    sim.run()
+    assert fired == ["stopper"]  # even same-time events are cut off
+    assert traced == [5]
+    sim.run()  # a fresh run dispatches (and traces) the leftover
+    assert fired == ["stopper", "same-time-later"]
+    assert traced == [5, 5]
+
+
+def test_trace_fires_before_a_raising_callback(sim):
+    traced = []
+    sim.trace = lambda t, fn, args: traced.append(t)
+
+    def boom():
+        raise RuntimeError("callback failure")
+
+    sim.at(7, boom)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    assert traced == [7]  # the failing event was traced before dispatch

@@ -1,0 +1,83 @@
+"""Golden-number regression pins for Figure 6 datapoints.
+
+One low-load and one near-saturation load point per Figure 6 network,
+uniform traffic, paper-scale (8x8) configuration, fixed seed.  The
+values were recorded from the current model implementations and are
+asserted *exactly* (simulations are deterministic — integer picosecond
+times, per-site hashed RNG streams), so any refactor that silently
+shifts results fails here rather than drifting the paper comparison.
+
+If a model change is *intentional* (a calibration or bugfix that moves
+the physics), regenerate the table:
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.core.sweep import run_load_point
+    from repro.macrochip.config import scaled_config
+    from repro.workloads.synthetic import UniformTraffic
+    cfg = scaled_config()
+    for net, load in [...]:
+        r = run_load_point(net, cfg, UniformTraffic(cfg.layout), load,
+                           window_ns=120.0)
+        print(net, load, r.mean_latency_ns, r.throughput_gb_per_s,
+              r.delivered_packets, r.injected_packets,
+              r.events_dispatched)
+    EOF
+
+and update EXPERIMENTS.md if the Figure 6 knees moved.
+"""
+
+import pytest
+
+from repro.core.sweep import run_load_point
+from repro.macrochip.config import scaled_config
+from repro.workloads.synthetic import UniformTraffic
+
+#: (network, offered_fraction, mean_latency_ns, throughput_gb_per_s,
+#:  delivered, injected, events_dispatched)
+GOLDEN = [
+    ("point_to_point", 0.02, 13.960798903107861, 389.72691952308327, 768, 768, 1536),
+    ("point_to_point", 0.9, 25.39381501474257, 15676.444444444445, 34552, 34560, 69112),
+    ("limited_point_to_point", 0.02, 15.949032727272728, 391.6812248940124, 768, 768, 2684),
+    ("limited_point_to_point", 0.45, 22.32839707325049, 8699.471040583188, 17280, 17280, 61262),
+    ("token_ring", 0.02, 9.23765, 385.45616774481374, 768, 768, 3428),
+    ("token_ring", 0.38, 23.282385236706304, 6339.337504028091, 14588, 14592, 67805),
+    ("two_phase", 0.02, 11.63930443159923, 369.9875245054358, 768, 768, 4322),
+    ("two_phase", 0.08, 23.644990189666448, 1088.8011126564672, 3037, 3072, 52856),
+    ("circuit_switched", 0.01, 47.86642528735632, 123.9426587124922, 371, 384, 1497),
+    ("circuit_switched", 0.03, 51.94138253638254, 342.21935656001955, 1069, 1088, 4297),
+]
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return scaled_config()
+
+
+@pytest.mark.parametrize(
+    "network,load,mean_latency_ns,throughput,delivered,injected,events",
+    GOLDEN, ids=["%s@%.2f" % (g[0], g[1]) for g in GOLDEN])
+def test_figure6_datapoint_is_pinned(cfg, network, load, mean_latency_ns,
+                                     throughput, delivered, injected,
+                                     events):
+    result = run_load_point(network, cfg, UniformTraffic(cfg.layout), load,
+                            window_ns=120.0)
+    assert result.delivered_packets == delivered
+    assert result.injected_packets == injected
+    assert result.events_dispatched == events
+    # floats are deterministic too; approx() only tolerates platform
+    # libm jitter in expovariate, not model drift
+    assert result.mean_latency_ns == pytest.approx(mean_latency_ns,
+                                                   rel=1e-12)
+    assert result.throughput_gb_per_s == pytest.approx(throughput,
+                                                       rel=1e-12)
+
+
+def test_golden_table_covers_all_figure6_networks():
+    from repro.networks.factory import FIGURE6_NETWORKS
+
+    pinned = {net for net, *_ in GOLDEN}
+    assert pinned == set(FIGURE6_NETWORKS)
+    # one low-load and one near-saturation point per network
+    for net in FIGURE6_NETWORKS:
+        loads = sorted(load for n, load, *_ in GOLDEN if n == net)
+        assert len(loads) == 2 and loads[0] < loads[1]
