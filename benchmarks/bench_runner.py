@@ -10,9 +10,7 @@ reported.
 
 from __future__ import annotations
 
-import os
-
-from repro.core.parallel import Shard, run_sharded
+from repro.core.parallel import Shard, available_cpus, run_sharded
 from repro.core.sweep import run_load_point
 from repro.macrochip.config import scaled_config
 from repro.workloads.synthetic import UniformTraffic
@@ -32,10 +30,9 @@ def _shards():
 
 
 def _cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except (AttributeError, OSError):  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+    # affinity-aware, >= 1 on every platform (incl. hosts without
+    # os.sched_getaffinity), and the same answer resolve_workers uses
+    return available_cpus()
 
 
 def test_sweep_serial(benchmark):

@@ -1,0 +1,151 @@
+"""Perf-regression report: run the core benchmarks, emit BENCH_PR3.json.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/report.py [--out results/BENCH_PR3.json]
+                                               [--events N] [--repeats R]
+                                               [--window-ns W] [--quick]
+
+Runs the engine microbenches and the one-point-per-network Figure 6
+slice from :mod:`benchmarks.bench_core`, annotates each engine bench
+with its speedup over the recorded pre-optimization baseline, and
+writes everything — plus host information — to a JSON artifact.
+
+The script is *informational*: it always exits 0 (unless the simulation
+itself is broken, which the test suite would catch first), so the CI
+perf job can never fail the build.  Numbers are comparable between runs
+on the same host class only; the committed baseline records the host it
+was measured on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+# allow both `python benchmarks/report.py` (script dir on sys.path) and
+# execution from a checkout root without installing the package
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.core.parallel import available_cpus  # noqa: E402
+
+import bench_core  # noqa: E402
+
+#: events/sec measured at the pre-optimization commit (PR 2 head,
+#: 6089c92) with the same workloads on the reference dev container —
+#: the denominator for the speedup fields below
+PRE_CHANGE_BASELINE = {
+    "commit": "6089c92",
+    "engine_events_per_sec": {
+        # chain: dispatch + schedule; prefill: at() + heap drain.  The
+        # pre-change engine had no at_many, so the bulk bench compares
+        # against the prefill_at path it replaces for bulk schedulers.
+        "chain": 1_010_914.0,
+        "prefill_at": 718_679.0,
+        "prefill_at_many": 718_679.0,
+    },
+    "network_events_per_sec": {
+        "point_to_point": 207_996.0,
+        "limited_point_to_point": 192_036.0,
+        "token_ring": 147_317.0,
+        "two_phase": 283_234.0,
+        "circuit_switched": 273_954.0,
+    },
+}
+
+
+def host_info() -> dict:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpus": available_cpus(),
+    }
+
+
+def build_report(events: int, repeats: int, window_ns: float) -> dict:
+    engine = bench_core.run_engine_benches(events=events, repeats=repeats)
+    for name, bench in engine.items():
+        base = PRE_CHANGE_BASELINE["engine_events_per_sec"].get(name)
+        if base:
+            bench["baseline_events_per_sec"] = base
+            bench["speedup_vs_baseline"] = bench["events_per_sec"] / base
+    networks = bench_core.run_network_benches(window_ns=window_ns)
+    for name, bench in networks.items():
+        base = PRE_CHANGE_BASELINE["network_events_per_sec"].get(name)
+        if base:
+            bench["baseline_events_per_sec"] = base
+            bench["speedup_vs_baseline"] = bench["events_per_sec"] / base
+    return {
+        "schema": "repro-bench-pr3/1",
+        "generated_unix": time.time(),
+        "host": host_info(),
+        "baseline": {
+            "commit": PRE_CHANGE_BASELINE["commit"],
+            "note": "pre-optimization events/sec on the reference dev "
+                    "container; speedups are meaningful on comparable "
+                    "hosts only",
+        },
+        "engine": engine,
+        "networks": networks,
+    }
+
+
+def print_table(report: dict) -> None:
+    print("engine microbenches (%s):" % report["host"]["platform"])
+    for name, b in report["engine"].items():
+        print("  %-18s %12.0f ev/s  %6.3fs  %sx" %
+              (name, b["events_per_sec"], b["wall_clock_s"],
+               ("%.2f" % b["speedup_vs_baseline"])
+               if "speedup_vs_baseline" in b else "  ? "))
+    print("figure 6 slice (uniform traffic, window %.0f ns):"
+          % next(iter(report["networks"].values()))["window_ns"])
+    for name, b in report["networks"].items():
+        print("  %-24s @%.2f %12.0f ev/s  %6.3fs  %sx" %
+              (name, b["offered_fraction"], b["events_per_sec"],
+               b["wall_clock_s"],
+               ("%.2f" % b["speedup_vs_baseline"])
+               if "speedup_vs_baseline" in b else "  ? "))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="results/BENCH_PR3.json",
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--events", type=int,
+                        default=bench_core.ENGINE_EVENTS,
+                        help="events per engine microbench")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per engine bench "
+                             "(best is reported)")
+    parser.add_argument("--window-ns", type=float,
+                        default=bench_core.NETWORK_WINDOW_NS,
+                        help="injection window for the network slice")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI preset: fewer events, shorter windows")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.events = min(args.events, 50_000)
+        args.repeats = min(args.repeats, 2)
+        args.window_ns = min(args.window_ns, 120.0)
+
+    report = build_report(args.events, args.repeats, args.window_ns)
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print_table(report)
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

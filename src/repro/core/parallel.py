@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
+    "available_cpus",
     "derive_seed",
     "resolve_workers",
     "Shard",
@@ -65,15 +66,29 @@ def derive_seed(base: int, *components: Any) -> int:
     return int.from_bytes(digest.digest()[:8], "big") & _SEED_MASK
 
 
+def available_cpus() -> int:
+    """CPUs actually available to this process, never less than 1.
+
+    Prefers the scheduling affinity mask (which respects cgroup/taskset
+    limits on Linux); on hosts without ``os.sched_getaffinity`` — macOS,
+    Windows — or where the call fails, falls back to ``os.cpu_count()``,
+    and to 1 when even that is unknown.  Shared by the parallel runner
+    and the benchmark harness so both report cores the same way.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic kernels
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalize a ``workers`` request: ``None``/``0`` means one worker
     per available CPU; anything else is clamped to at least 1."""
     if workers is None or workers == 0:
-        try:
-            detected = len(os.sched_getaffinity(0))
-        except (AttributeError, OSError):  # pragma: no cover - non-Linux
-            detected = os.cpu_count() or 1
-        return max(1, detected)
+        return available_cpus()
     return max(1, int(workers))
 
 

@@ -20,22 +20,27 @@ from .units import to_ns
 class LatencySample:
     """Streaming latency statistics (values in picoseconds).
 
-    Keeps every observation (simulations here are small enough) so exact
-    percentiles are available; also maintains running sums so ``mean`` is
-    O(1).
+    Observations are binned into an exact-value histogram: insertion is
+    one O(1) bucket increment (plus running sum and min/max updates), and
+    nearest-rank percentiles walk the sorted *distinct* values — typically
+    far fewer than the raw observation count — so exact percentiles stay
+    available without retaining (or re-sorting) every sample.
     """
 
-    __slots__ = ("_values", "_sum", "_min", "_max")
+    __slots__ = ("_counts", "_n", "_sum", "_min", "_max")
 
     def __init__(self) -> None:
-        self._values: List[int] = []
+        self._counts: Dict[int, int] = {}
+        self._n = 0
         self._sum = 0
         self._min: Optional[int] = None
         self._max: Optional[int] = None
 
     def add(self, value_ps: int) -> None:
         """Record one latency observation."""
-        self._values.append(value_ps)
+        counts = self._counts
+        counts[value_ps] = counts.get(value_ps, 0) + 1
+        self._n += 1
         self._sum += value_ps
         if self._min is None or value_ps < self._min:
             self._min = value_ps
@@ -43,17 +48,17 @@ class LatencySample:
             self._max = value_ps
 
     def __len__(self) -> int:
-        return len(self._values)
+        return self._n
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._n
 
     @property
     def mean_ps(self) -> float:
-        if not self._values:
+        if not self._n:
             return float("nan")
-        return self._sum / len(self._values)
+        return self._sum / self._n
 
     @property
     def mean_ns(self) -> float:
@@ -77,13 +82,17 @@ class LatencySample:
 
     def percentile_ps(self, pct: float) -> int:
         """Exact percentile (nearest-rank) of recorded latencies."""
-        if not self._values:
+        if not self._n:
             raise ValueError("no samples recorded")
         if not 0.0 <= pct <= 100.0:
             raise ValueError("percentile must be in [0, 100], got %r" % pct)
-        ordered = sorted(self._values)
-        rank = max(1, int(math.ceil(pct / 100.0 * len(ordered))))
-        return ordered[rank - 1]
+        rank = max(1, int(math.ceil(pct / 100.0 * self._n)))
+        seen = 0
+        for value in sorted(self._counts):
+            seen += self._counts[value]
+            if seen >= rank:
+                return value
+        return self._max  # pragma: no cover - rank <= n guarantees a hit
 
     def percentile_ns(self, pct: float) -> float:
         return self.percentile_ps(pct) / 1000.0

@@ -26,7 +26,7 @@ from .units import serialization_ps
 from ..macrochip.config import MacrochipConfig
 from ..networks.base import Packet
 from ..networks.factory import build_network
-from ..workloads.synthetic import TrafficPattern
+from ..workloads.synthetic import TrafficPattern, exponential_gaps
 
 
 @dataclass(frozen=True)
@@ -67,7 +67,8 @@ def run_load_point(network_name: str,
                    warmup_fraction: float = 0.25,
                    network_kwargs: Optional[dict] = None,
                    tracer: Optional[TraceRecorder] = None,
-                   check_invariants: bool = False) -> LoadPointResult:
+                   check_invariants: bool = False,
+                   rng_block: int = 256) -> LoadPointResult:
     """Simulate one point of a latency-vs-load curve.
 
     ``offered_fraction`` is per-site offered load as a fraction of the
@@ -86,6 +87,15 @@ def run_load_point(network_name: str,
     drain horizon legitimately leaves saturated runs with packets in
     flight).  Both keywords pass through ``sweep(...)`` to every load
     point of a curve.
+
+    ``rng_block`` sets the per-site RNG prefetch block size: gap and
+    destination draws are pulled from each site's private streams in
+    blocks of this many instead of one call per packet.  The draws
+    themselves are stream-identical either way (see
+    :meth:`~repro.workloads.synthetic.TrafficPattern.destinations` and
+    :func:`~repro.workloads.synthetic.exponential_gaps`), so every block
+    size — including ``rng_block=0``, the legacy one-draw-per-packet
+    path kept for differential testing — produces bit-identical results.
     """
     if not 0.0 < offered_fraction:
         raise ValueError("offered load must be positive")
@@ -113,16 +123,50 @@ def run_load_point(network_name: str,
     site_patterns = [pattern.split(derive_seed(seed, "dst", site))
                      for site in range(config.num_sites)]
 
-    def injector(site: int, remaining: int) -> None:
-        dst = site_patterns[site].destination(site)
-        net.inject(Packet(site, dst, packet_bytes))
-        if remaining > 1:
-            gap = max(1, int(gap_rngs[site].expovariate(1.0 / mean_gap_ps)))
-            sim.schedule(gap, injector, site, remaining - 1)
+    if rng_block > 0:
+        # fast path: prefetch each site's gap and destination draws in
+        # blocks.  Each site's two streams are consumed in exactly the
+        # order the per-packet path consumes them, so the schedules (and
+        # hence event counts, latencies, everything) are bit-identical;
+        # the per-event work drops to two list indexes.
+        site_gaps: List[List[int]] = []
+        site_dsts: List[List[int]] = []
+        for site in range(config.num_sites):
+            rng = gap_rngs[site]
+            pat = site_patterns[site]
+            gaps: List[int] = []
+            dsts: List[int] = []
+            remaining = packets_per_site
+            while remaining > 0:
+                take = rng_block if remaining > rng_block else remaining
+                gaps.extend(exponential_gaps(rng, mean_gap_ps, take))
+                dsts.extend(pat.destinations(site, take))
+                remaining -= take
+            site_gaps.append(gaps)
+            site_dsts.append(dsts)
 
-    for site in range(config.num_sites):
-        first = max(1, int(gap_rngs[site].expovariate(1.0 / mean_gap_ps)))
-        sim.at(first, injector, site, packets_per_site)
+        def injector(site: int, idx: int) -> None:
+            net.inject(Packet(site, site_dsts[site][idx], packet_bytes))
+            nxt = idx + 1
+            if nxt < packets_per_site:
+                sim.schedule(site_gaps[site][nxt], injector, site, nxt)
+
+        sim.at_many((site_gaps[site][0], injector, (site, 0))
+                    for site in range(config.num_sites))
+    else:
+        # legacy path: one RNG call per packet (kept for differential
+        # tests pinning the batched path's equivalence)
+        def injector(site: int, remaining: int) -> None:
+            dst = site_patterns[site].destination(site)
+            net.inject(Packet(site, dst, packet_bytes))
+            if remaining > 1:
+                gap = max(1,
+                          int(gap_rngs[site].expovariate(1.0 / mean_gap_ps)))
+                sim.schedule(gap, injector, site, remaining - 1)
+
+        for site in range(config.num_sites):
+            first = max(1, int(gap_rngs[site].expovariate(1.0 / mean_gap_ps)))
+            sim.at(first, injector, site, packets_per_site)
 
     horizon = int(inject_window_ps * (1.0 + drain_factor))
     events = sim.run(until_ps=horizon)

@@ -29,7 +29,7 @@ delays for small transfers such as cache lines".
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List
+from typing import Deque, Dict, List, Optional
 
 from .base import Channel, InterSiteNetwork, Packet
 from ..core import tracing
@@ -66,9 +66,14 @@ class CircuitSwitchedTorus(InterSiteNetwork):
             config.layout.site_pitch_cm / SWITCH_POINTS_PER_CROSSING)
         self.engines_per_site = engines_per_site
         n = config.num_sites
+        self._num_sites = n
         self._engines_free: List[int] = [engines_per_site] * n
         self._engine_queue: List[Deque[Packet]] = [deque() for _ in range(n)]
-        self._rx_ports: Dict[int, Channel] = {}
+        self._rx_port_table: List[Optional[Channel]] = [None] * n
+        # lazily filled per-pair tables: setup+ack round trip consulted
+        # once per circuit, data flight time once per transfer
+        self._setup_ack_table: List[int] = [-1] * (n * n)
+        self._flight_table: List[int] = [-1] * (n * n)
         #: circuits established (setup count), for tests/diagnostics
         self.circuits_established = 0
 
@@ -92,11 +97,11 @@ class CircuitSwitchedTorus(InterSiteNetwork):
         return propagation_ps(self.config.layout.torus_distance_cm(src, dst))
 
     def _rx_port(self, dst: int) -> Channel:
-        port = self._rx_ports.get(dst)
+        port = self._rx_port_table[dst]
         if port is None:
             port = self._new_channel(self.data_gb_per_s, 0,
                                      name="cs-rx[%d]" % dst)
-            self._rx_ports[dst] = port
+            self._rx_port_table[dst] = port
         return port
 
     def invariant_capacities(self) -> Dict[str, int]:
@@ -121,17 +126,27 @@ class CircuitSwitchedTorus(InterSiteNetwork):
             self._engine_queue[src].append(packet)
 
     def _begin_setup(self, packet: Packet) -> None:
-        setup = self.setup_latency_ps(packet.src, packet.dst)
-        ack = self.ack_latency_ps(packet.src, packet.dst)
-        self.sim.schedule(setup + ack, self._circuit_ready, packet)
+        idx = packet.src * self._num_sites + packet.dst
+        rtt = self._setup_ack_table[idx]
+        if rtt < 0:
+            rtt = (self.setup_latency_ps(packet.src, packet.dst)
+                   + self.ack_latency_ps(packet.src, packet.dst))
+            self._setup_ack_table[idx] = rtt
+        self.sim.schedule(rtt, self._circuit_ready, packet)
 
     def _circuit_ready(self, packet: Packet) -> None:
         """Ack received: stream the data over the circuit."""
         self.circuits_established += 1
-        port = self._rx_port(packet.dst)
+        port = self._rx_port_table[packet.dst]
+        if port is None:
+            port = self._rx_port(packet.dst)
         tx = port.serialization_ps(packet.size_bytes)
-        flight = propagation_ps(
-            self.config.layout.torus_distance_cm(packet.src, packet.dst))
+        idx = packet.src * self._num_sites + packet.dst
+        flight = self._flight_table[idx]
+        if flight < 0:
+            flight = propagation_ps(
+                self.config.layout.torus_distance_cm(packet.src, packet.dst))
+            self._flight_table[idx] = flight
         start = max(self.sim.now, port.next_free - flight)
         done_at_src = start + tx
         port.next_free = done_at_src + flight

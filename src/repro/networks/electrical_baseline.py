@@ -23,7 +23,7 @@ chip-to-chip bandwidth") can be demonstrated quantitatively — see
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import List, Optional
 
 from .base import Channel, InterSiteNetwork, Packet
 from ..core.engine import Simulator
@@ -57,24 +57,28 @@ class ElectricalBaselineNetwork(InterSiteNetwork):
         self.channel_gb_per_s = max(site_bandwidth_gb_per_s / (n - 1),
                                     0.001)
         self.serdes_latency_ps = int(serdes_latency_ns * 1000)
-        self._channels: Dict[Tuple[int, int], Channel] = {}
+        self._num_sites = n
+        self._channel_table: List[Optional[Channel]] = [None] * (n * n)
 
     def channel(self, src: int, dst: int) -> Channel:
-        key = (src, dst)
-        ch = self._channels.get(key)
+        idx = src * self._num_sites + dst
+        ch = self._channel_table[idx]
         if ch is None:
             ch = self._new_channel(self.channel_gb_per_s,
                                    self.propagation_ps(src, dst),
-                                   name="elec[%d->%d]" % key)
-            self._channels[key] = ch
+                                   name="elec[%d->%d]" % (src, dst))
+            self._channel_table[idx] = ch
         return ch
 
     def _route(self, packet: Packet) -> None:
         packet.hops = 1
-        self.sim.schedule(
-            self.serdes_latency_ps,
-            lambda: self.channel(packet.src, packet.dst).send(
-                packet, self._deliver))
+        self.sim.schedule(self.serdes_latency_ps, self._start_tx, packet)
+
+    def _start_tx(self, packet: Packet) -> None:
+        ch = self._channel_table[packet.src * self._num_sites + packet.dst]
+        if ch is None:
+            ch = self.channel(packet.src, packet.dst)
+        ch.send(packet, self._deliver)
 
     def _account_optical_energy(self, packet: Packet) -> None:
         if packet.src == packet.dst:

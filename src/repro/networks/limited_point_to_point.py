@@ -16,7 +16,7 @@ is noted in DESIGN.md).  Router traversals are charged 60 pJ/byte
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from .base import Channel, InterSiteNetwork, Packet
 from ..core.engine import Simulator
@@ -49,7 +49,25 @@ class LimitedPointToPointNetwork(InterSiteNetwork):
         # on non-neighbor traffic as the paper observes.
         self.router_latency_ps = config.cycles_ps(
             1 + conversion_overhead_cycles)
-        self._channels: Dict[Tuple[int, int], Channel] = {}
+        n = layout.num_sites
+        self._num_sites = n
+        # precomputed per-pair routing tables (the per-packet hot path
+        # does one flat index instead of four coords() calls):
+        # _fwd_table[src*n+dst] is None for peers (direct channel) and the
+        # (a, b) forwarder-candidate pair otherwise
+        coords = [layout.coords(s) for s in range(n)]
+        fwd: List[Optional[Tuple[int, int]]] = [None] * (n * n)
+        for src, (rs, cs) in enumerate(coords):
+            for dst, (rd, cd) in enumerate(coords):
+                if src != dst and rs != rd and cs != cd:
+                    fwd[src * n + dst] = (layout.site_at(rs, cd),
+                                          layout.site_at(rd, cs))
+        self._fwd_table = fwd
+        self._coords = coords
+        self._channel_table: List[Optional[Channel]] = [None] * (n * n)
+        # per-forwarder arrival callbacks, created once instead of one
+        # closure per forwarded packet
+        self._fwd_arrival: List[Optional[Callable[[Packet], None]]] = [None] * n
         #: forwarded packets (for Figure 9 style reporting and tests)
         self.forwarded_packets = 0
         self.direct_packets = 0
@@ -58,50 +76,80 @@ class LimitedPointToPointNetwork(InterSiteNetwork):
 
     def is_peer(self, a: int, b: int) -> bool:
         """True when two distinct sites share a row or a column."""
-        ra, ca = self.config.layout.coords(a)
-        rb, cb = self.config.layout.coords(b)
-        return a != b and (ra == rb or ca == cb)
+        return a != b and self._fwd_table[a * self._num_sites + b] is None
 
     def forwarder_candidates(self, src: int, dst: int) -> Tuple[int, int]:
         """The two sites that are peers of both endpoints."""
+        fwd = self._fwd_table[src * self._num_sites + dst]
+        if fwd is not None:
+            return fwd
         layout = self.config.layout
-        rs, cs = layout.coords(src)
-        rd, cd = layout.coords(dst)
+        rs, cs = self._coords[src]
+        rd, cd = self._coords[dst]
         return layout.site_at(rs, cd), layout.site_at(rd, cs)
 
     def channel(self, src: int, dst: int) -> Channel:
         if not self.is_peer(src, dst):
             raise ValueError("no direct channel between %d and %d" % (src, dst))
-        key = (src, dst)
-        ch = self._channels.get(key)
+        idx = src * self._num_sites + dst
+        ch = self._channel_table[idx]
         if ch is None:
             ch = self._new_channel(
                 self.channel_gb_per_s,
                 self.propagation_ps(src, dst),
-                name="lp2p[%d->%d]" % key,
+                name="lp2p[%d->%d]" % (src, dst),
             )
-            self._channels[key] = ch
+            self._channel_table[idx] = ch
         return ch
+
+    def _arrival_cb(self, via: int) -> Callable[[Packet], None]:
+        cb = self._fwd_arrival[via]
+        if cb is None:
+            at_forwarder = self._at_forwarder
+
+            def cb(packet: Packet, _via: int = via) -> None:
+                at_forwarder(packet, _via)
+
+            self._fwd_arrival[via] = cb
+        return cb
 
     # -- routing -----------------------------------------------------------
 
     def _route(self, packet: Packet) -> None:
-        if self.is_peer(packet.src, packet.dst):
+        src = packet.src
+        dst = packet.dst
+        n = self._num_sites
+        fwd = self._fwd_table[src * n + dst]
+        if fwd is None:
             packet.hops = 1
             self.direct_packets += 1
-            self.channel(packet.src, packet.dst).send(packet, self._deliver)
+            ch = self._channel_table[src * n + dst]
+            if ch is None:
+                ch = self.channel(src, dst)
+            ch.send(packet, self._deliver)
             return
         self.forwarded_packets += 1
         packet.hops = 2
-        a, b = self.forwarder_candidates(packet.src, packet.dst)
+        a, b = fwd
         # adaptive: pick the forwarder whose first-leg channel is freer;
         # deterministic tie-break on site id keeps runs reproducible.
-        qa = self.channel(packet.src, a).queue_delay_ps()
-        qb = self.channel(packet.src, b).queue_delay_ps()
-        via = a if (qa, a) <= (qb, b) else b
-        self.channel(packet.src, via).send(
-            packet, lambda p, via=via: self._at_forwarder(p, via)
-        )
+        ch_a = self._channel_table[src * n + a]
+        if ch_a is None:
+            ch_a = self.channel(src, a)
+        ch_b = self._channel_table[src * n + b]
+        if ch_b is None:
+            ch_b = self.channel(src, b)
+        now = self.sim.now
+        qa = ch_a.next_free - now
+        if qa < 0:
+            qa = 0
+        qb = ch_b.next_free - now
+        if qb < 0:
+            qb = 0
+        if (qa, a) <= (qb, b):
+            ch_a.send(packet, self._arrival_cb(a))
+        else:
+            ch_b.send(packet, self._arrival_cb(b))
 
     def _at_forwarder(self, packet: Packet, via: int) -> None:
         """O-E conversion, one-cycle 7x7 router, E-O re-transmission."""
@@ -110,4 +158,7 @@ class LimitedPointToPointNetwork(InterSiteNetwork):
                           self._forward, packet, via)
 
     def _forward(self, packet: Packet, via: int) -> None:
-        self.channel(via, packet.dst).send(packet, self._deliver)
+        ch = self._channel_table[via * self._num_sites + packet.dst]
+        if ch is None:
+            ch = self.channel(via, packet.dst)
+        ch.send(packet, self._deliver)

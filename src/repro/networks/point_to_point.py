@@ -13,7 +13,7 @@ latency is pure serialization + Manhattan propagation + queueing.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import List, Optional
 
 from .base import Channel, InterSiteNetwork, Packet
 from ..core.engine import Simulator
@@ -36,21 +36,29 @@ class PointToPointNetwork(InterSiteNetwork):
         wavelengths = max(1, config.transmitters_per_site // n)
         self.channel_wavelengths = wavelengths
         self.channel_gb_per_s = wavelengths * config.wavelength_gb_per_s
-        self._channels: Dict[Tuple[int, int], Channel] = {}
+        self._num_sites = n
+        # flat src*n+dst channel table, filled on first use: one index
+        # per packet on the hot path instead of a tuple-key dict probe
+        self._channel_table: List[Optional[Channel]] = [None] * (n * n)
 
     def channel(self, src: int, dst: int) -> Channel:
         """The dedicated (lazily created) channel for a site pair."""
-        key = (src, dst)
-        ch = self._channels.get(key)
+        idx = src * self._num_sites + dst
+        ch = self._channel_table[idx]
         if ch is None:
             ch = self._new_channel(
                 self.channel_gb_per_s,
                 self.propagation_ps(src, dst),
-                name="p2p[%d->%d]" % key,
+                name="p2p[%d->%d]" % (src, dst),
             )
-            self._channels[key] = ch
+            self._channel_table[idx] = ch
         return ch
 
     def _route(self, packet: Packet) -> None:
         packet.hops = 1
-        self.channel(packet.src, packet.dst).send(packet, self._deliver)
+        src = packet.src
+        dst = packet.dst
+        ch = self._channel_table[src * self._num_sites + dst]
+        if ch is None:
+            ch = self.channel(src, dst)
+        ch.send(packet, self._deliver)

@@ -28,7 +28,7 @@ generation counters implement without event cancellation.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List
+from typing import Deque, Dict, List, Optional
 
 from .base import InterSiteNetwork, Packet
 from ..core import tracing
@@ -41,7 +41,8 @@ class _TokenState:
     """Position/time of one destination's token plus its waiter queues."""
 
     __slots__ = ("pos", "time_ps", "busy", "holding", "generation",
-                 "queues", "waiting", "release_pos", "release_time")
+                 "queues", "waiting", "waiting_pos", "release_pos",
+                 "release_time")
 
     def __init__(self, num_sites: int) -> None:
         self.pos = 0  # snake position where the token was at `time_ps`
@@ -51,6 +52,9 @@ class _TokenState:
         self.generation = 0  # invalidates superseded grant events
         self.queues: List[Deque[Packet]] = [deque() for _ in range(num_sites)]
         self.waiting = 0  # total queued packets across sources
+        #: snake positions with a non-empty queue — lets grant scheduling
+        #: visit only actual waiters instead of scanning the whole ring
+        self.waiting_pos = set()
         self.release_pos = -1  # last releasing position: cannot re-grab
         self.release_time = 0  # ...until a full rotation after this time
 
@@ -76,17 +80,21 @@ class TokenRingCrossbar(InterSiteNetwork):
         self.hop_ps = max(1, self.rotation_ps // n)
         #: token absorb/re-inject cost per grant
         self.grant_overhead_ps = grant_overhead_ps
-        self._tokens: Dict[int, _TokenState] = {}
+        self._token_table: List[Optional[_TokenState]] = [None] * n
         self._snake_pos = [layout.snake_position(s) for s in range(n)]
         self._snake_site = [layout.snake_site(p) for p in range(n)]
+        #: per-size cached bundle serialization times
+        self._tx_cache: Dict[int, int] = {}
+        #: lazily filled src*n+dst propagation table (consulted per grant)
+        self._prop_table: List[int] = [-1] * (n * n)
 
     # -- token geometry ----------------------------------------------------
 
     def _token(self, dst: int) -> _TokenState:
-        tok = self._tokens.get(dst)
+        tok = self._token_table[dst]
         if tok is None:
             tok = _TokenState(self.num_sites)
-            self._tokens[dst] = tok
+            self._token_table[dst] = tok
         return tok
 
     def _token_position_at(self, tok: _TokenState, now_ps: int):
@@ -110,9 +118,13 @@ class TokenRingCrossbar(InterSiteNetwork):
 
     def _route(self, packet: Packet) -> None:
         packet.hops = 1
-        tok = self._token(packet.dst)
-        tok.queues[self._snake_pos[packet.src]].append(packet)
+        tok = self._token_table[packet.dst]
+        if tok is None:
+            tok = self._token(packet.dst)
+        pos = self._snake_pos[packet.src]
+        tok.queues[pos].append(packet)
         tok.waiting += 1
+        tok.waiting_pos.add(pos)
         if self.tracer is not None:
             self.tracer.emit(self.sim.now, tracing.ENQUEUE, pid=packet.pid,
                              resource="token:%d" % packet.dst)
@@ -137,38 +149,67 @@ class TokenRingCrossbar(InterSiteNetwork):
         if tok.waiting == 0:
             tok.busy = False
             return
-        pos, at = self._token_position_at(tok, self.sim.now)
-        best = None
-        for offset in range(min_offset, self.num_sites + min_offset):
-            p = (pos + offset) % self.num_sites
-            if not tok.queues[p]:
-                continue
-            grant_time = max(self.sim.now, at + offset * self.hop_ps)
+        now = self.sim.now
+        pos, at = self._token_position_at(tok, now)
+        n = self.num_sites
+        hop = self.hop_ps
+        # visit only positions with waiters; selection is by (grant_time,
+        # ring offset), which reproduces the old full-ring scan exactly:
+        # that scan walked offsets in ascending order and kept the first
+        # strictly-earlier grant time
+        best_time = -1
+        best_off = 0
+        best_p = -1
+        for p in tok.waiting_pos:
+            offset = p - pos
+            if offset < 0:
+                offset += n
+            if offset < min_offset:
+                offset += n
+            grant_time = at + offset * hop
+            if grant_time < now:
+                grant_time = now
             if p == tok.release_pos:
                 # the releasing site sees the token again only after a
                 # full round trip; the token serves nearer waiters first
-                grant_time = max(grant_time,
-                                 tok.release_time + self.rotation_ps)
-            if best is None or grant_time < best[0]:
-                best = (grant_time, p)
-        if best is None:  # pragma: no cover - waiting>0 guarantees a hit
+                release_at = tok.release_time + self.rotation_ps
+                if grant_time < release_at:
+                    grant_time = release_at
+            if (best_p < 0 or grant_time < best_time
+                    or (grant_time == best_time and offset < best_off)):
+                best_time = grant_time
+                best_off = offset
+                best_p = p
+        if best_p < 0:  # pragma: no cover - waiting>0 guarantees a hit
             raise AssertionError("waiting>0 but no queued source")
-        self.sim.at(best[0], self._grant, dst, best[1], tok.generation)
+        self.sim.at(best_time, self._grant, dst, best_p, tok.generation)
 
     def _grant(self, dst: int, src_pos: int, generation: int) -> None:
         """The token reached a waiting sender: transmit one packet."""
         tok = self._token(dst)
         if generation != tok.generation:
             return  # superseded by a closer requester
-        if not tok.queues[src_pos]:  # pragma: no cover - defensive
+        queue = tok.queues[src_pos]
+        if not queue:  # pragma: no cover - defensive
+            tok.waiting_pos.discard(src_pos)
             self._schedule_next_grant(dst, tok)
             return
-        packet = tok.queues[src_pos].popleft()
+        packet = queue.popleft()
+        if not queue:
+            tok.waiting_pos.discard(src_pos)
         tok.waiting -= 1
         tok.holding = True
-        tx = serialization_ps(packet.size_bytes, self.bundle_gb_per_s)
+        tx = self._tx_cache.get(packet.size_bytes)
+        if tx is None:
+            tx = serialization_ps(packet.size_bytes, self.bundle_gb_per_s)
+            self._tx_cache[packet.size_bytes] = tx
         src_site = self._snake_site[src_pos]
-        arrival = self.sim.now + tx + self.propagation_ps(src_site, dst)
+        n = self.num_sites
+        prop = self._prop_table[src_site * n + dst]
+        if prop < 0:
+            prop = self.propagation_ps(src_site, dst)
+            self._prop_table[src_site * n + dst] = prop
+        arrival = self.sim.now + tx + prop
         self.sim.at(arrival, self._deliver, packet)
         # token is re-injected after the transmission slot + overhead
         tok.pos = src_pos

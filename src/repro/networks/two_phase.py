@@ -30,12 +30,12 @@ transmitters/laser power) per column to halve this contention.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional
 
 from .base import Channel, InterSiteNetwork, Packet
 from ..core import tracing
 from ..core.engine import Simulator
-from ..core.units import propagation_ps
+from ..core.units import propagation_ps, serialization_ps
 from ..macrochip.config import MacrochipConfig
 
 
@@ -74,10 +74,25 @@ class TwoPhaseArbitratedNetwork(InterSiteNetwork):
         self.request_prop_ps = propagation_ps(layout.row_span_cm)
         #: switch-notification flight time along a full column
         self.notify_prop_ps = propagation_ps(layout.col_span_cm)
-        # shared channel per (row, destination)
-        self._channels: Dict[Tuple[int, int], Channel] = {}
-        # per (site, column): [busy_until, configured_destination] per tree
-        self._trees: Dict[Tuple[int, int], List[List[int]]] = {}
+        # combined request->slot lead time: request flight + one arb slot
+        # + notification flight + switch setup (one add per arbitration
+        # instead of four)
+        self._arb_lead_ps = (self.request_prop_ps + ARB_SLOT_PS
+                             + self.notify_prop_ps + self.switch_setup_ps)
+        n = layout.num_sites
+        self._num_sites = n
+        # precomputed coordinate tables: row of a source, column of a
+        # destination (the only geometry the protocol consults per packet)
+        self._row_of = [layout.coords(s)[0] for s in range(n)]
+        self._col_of = [layout.coords(s)[1] for s in range(n)]
+        # shared channel per (row, destination), flat row*n+dst table
+        self._channel_table: List[Optional[Channel]] = [None] * (layout.rows * n)
+        # per (site, column): [busy_until, configured_destination] per
+        # tree, flat site*cols+col table
+        self._tree_table: List[Optional[List[List[int]]]] = \
+            [None] * (n * layout.cols)
+        #: per-size cached data-slot durations
+        self._slot_cache: Dict[int, int] = {}
         #: wasted data slots (tree contention), for tests and diagnostics
         self.wasted_slots = 0
         self.granted_slots = 0
@@ -85,35 +100,35 @@ class TwoPhaseArbitratedNetwork(InterSiteNetwork):
     # -- resources ---------------------------------------------------------
 
     def channel(self, row: int, dst: int) -> Channel:
-        key = (row, dst)
-        ch = self._channels.get(key)
+        idx = row * self._num_sites + dst
+        ch = self._channel_table[idx]
         if ch is None:
             # propagation: worst leg of the shared channel, row + column
             prop = propagation_ps(self.config.layout.row_span_cm / 2.0
                                   + self.config.layout.col_span_cm / 2.0)
             ch = self._new_channel(self.channel_gb_per_s, prop,
-                                   name="2ph[row=%d->%d]" % key)
-            self._channels[key] = ch
+                                   name="2ph[row=%d->%d]" % (row, dst))
+            self._channel_table[idx] = ch
         return ch
 
     def _tree_slots(self, site: int, col: int) -> List[List[int]]:
-        key = (site, col)
-        slots = self._trees.get(key)
+        idx = site * self.config.layout.cols + col
+        slots = self._tree_table[idx]
         if slots is None:
             # busy_until starts in the distant past: an untouched tree has
             # had ample time to be configured during the lead window
             slots = [[-(10 ** 15), -1] for _ in range(self.trees_per_column)]
-            self._trees[key] = slots
+            self._tree_table[idx] = slots
         return slots
 
     def slot_duration_ps(self, size_bytes: int) -> int:
         """Data slots are integral multiples of the basic slot."""
-        ch_bw = self.channel_gb_per_s
-        from ..core.units import serialization_ps
-
-        raw = serialization_ps(size_bytes, ch_bw)
-        slots = -(-raw // ARB_SLOT_PS)
-        return slots * ARB_SLOT_PS
+        dur = self._slot_cache.get(size_bytes)
+        if dur is None:
+            raw = serialization_ps(size_bytes, self.channel_gb_per_s)
+            dur = -(-raw // ARB_SLOT_PS) * ARB_SLOT_PS
+            self._slot_cache[size_bytes] = dur
+        return dur
 
     # -- protocol ----------------------------------------------------------
 
@@ -122,13 +137,21 @@ class TwoPhaseArbitratedNetwork(InterSiteNetwork):
         self._arbitrate(packet)
 
     def _arbitrate(self, packet: Packet) -> None:
-        """Phase 1: post the request; all domain members assign slot Tr."""
-        row, _ = self.config.layout.coords(packet.src)
-        ch = self.channel(row, packet.dst)
-        visible = (self.sim.now + self.request_prop_ps + ARB_SLOT_PS)
-        earliest_tr = visible + self.notify_prop_ps + self.switch_setup_ps
-        dur = self.slot_duration_ps(packet.size_bytes)
-        tr = max(earliest_tr, ch.next_free)
+        """Phase 1: post the request; all domain members assign slot Tr.
+
+        The earliest slot is request flight + arb slot + notification
+        flight + switch setup after "now" (precombined in _arb_lead_ps).
+        """
+        row = self._row_of[packet.src]
+        ch = self._channel_table[row * self._num_sites + packet.dst]
+        if ch is None:
+            ch = self.channel(row, packet.dst)
+        earliest_tr = self.sim.now + self._arb_lead_ps
+        dur = self._slot_cache.get(packet.size_bytes)
+        if dur is None:
+            dur = self.slot_duration_ps(packet.size_bytes)
+        next_free = ch.next_free
+        tr = earliest_tr if earliest_tr >= next_free else next_free
         ch.reserve(tr, dur)
         if self.tracer is not None:
             # slot reservation on the shared channel timeline: exclusive
@@ -145,7 +168,7 @@ class TwoPhaseArbitratedNetwork(InterSiteNetwork):
         during the notification lead time.  Otherwise the reserved slot is
         wasted — the channel stays idle for it — and the packet must
         re-arbitrate from scratch."""
-        _, dst_col = self.config.layout.coords(packet.dst)
+        dst_col = self._col_of[packet.dst]
         trees = self._tree_slots(packet.src, dst_col)
         now = self.sim.now
         best = None
@@ -173,7 +196,7 @@ class TwoPhaseArbitratedNetwork(InterSiteNetwork):
         # tree contention: the reserved slot is wasted, re-arbitrate
         self.wasted_slots += 1
         if self.tracer is not None:
-            row, _ = self.config.layout.coords(packet.src)
+            row = self._row_of[packet.src]
             self.tracer.emit(now, tracing.WASTE, pid=packet.pid,
                              resource="slot:2ph[row=%d->%d]"
                              % (row, packet.dst),

@@ -40,6 +40,18 @@ class TrafficPattern:
     def destination(self, src: int) -> int:
         raise NotImplementedError
 
+    def destinations(self, src: int, count: int) -> List[int]:
+        """``count`` consecutive destination draws for ``src``.
+
+        Guaranteed to consume the pattern's RNG exactly as ``count``
+        sequential :meth:`destination` calls would, so batched and
+        unbatched callers see the same per-site sequences (the sweep
+        harness relies on this to stay bit-identical while prefetching
+        draws in blocks).  Subclasses override for speed, never for
+        different draws.
+        """
+        return [self.destination(src) for _ in range(count)]
+
     def reseed(self, seed: int) -> None:
         self.rng.seed(seed)
 
@@ -67,6 +79,12 @@ class UniformTraffic(TrafficPattern):
         dst = self.rng.randrange(n - 1)
         return dst if dst < src else dst + 1
 
+    def destinations(self, src: int, count: int) -> List[int]:
+        n1 = self.layout.num_sites - 1
+        randrange = self.rng.randrange
+        return [d if d < src else d + 1
+                for d in [randrange(n1) for _ in range(count)]]
+
 
 class TransposeTraffic(TrafficPattern):
     """Swap the high and low halves of the site-id bits: (r, c) -> (c, r)."""
@@ -77,6 +95,9 @@ class TransposeTraffic(TrafficPattern):
     def destination(self, src: int) -> int:
         row, col = self.layout.coords(src)
         return self.layout.site_at(col, row)
+
+    def destinations(self, src: int, count: int) -> List[int]:
+        return [self.destination(src)] * count  # deterministic, no RNG
 
 
 class ButterflyTraffic(TrafficPattern):
@@ -100,6 +121,15 @@ class ButterflyTraffic(TrafficPattern):
         flipped = src ^ 1 ^ (1 << self._msb_shift)
         return flipped
 
+    def destinations(self, src: int, count: int) -> List[int]:
+        return [self.destination(src)] * count  # deterministic, no RNG
+
+
+#: the four torus steps, in the order NeighborTraffic has always drawn
+#: them — random.Random.choice consumes one _randbelow(4) per draw either
+#: way, so batched draws stay stream-identical
+_NEIGHBOR_STEPS = ((0, -1), (0, 1), (-1, 0), (1, 0))
+
 
 class NeighborTraffic(TrafficPattern):
     """Random pick among the four torus-wrapped grid neighbors."""
@@ -109,8 +139,17 @@ class NeighborTraffic(TrafficPattern):
 
     def destination(self, src: int) -> int:
         row, col = self.layout.coords(src)
-        dr, dc = self.rng.choice(((0, -1), (0, 1), (-1, 0), (1, 0)))
+        dr, dc = self.rng.choice(_NEIGHBOR_STEPS)
         return self.layout.site_at(row + dr, col + dc)
+
+    def destinations(self, src: int, count: int) -> List[int]:
+        layout = self.layout
+        row, col = layout.coords(src)
+        choice = self.rng.choice
+        site_at = layout.site_at
+        return [site_at(row + dr, col + dc)
+                for dr, dc in [choice(_NEIGHBOR_STEPS)
+                               for _ in range(count)]]
 
 
 #: Figure 6's four panels, in the paper's order.
@@ -138,3 +177,22 @@ def make_pattern(name: str, layout: MacrochipLayout = None,
 
 def pattern_names() -> List[str]:
     return ["uniform", "transpose", "butterfly", "neighbor"]
+
+
+def exponential_gaps(rng: random.Random, mean_gap_ps: int,
+                     count: int) -> List[int]:
+    """``count`` exponential inter-arrival gaps, clamped to >= 1 ps.
+
+    Consumes ``rng`` exactly as ``count`` sequential
+    ``max(1, int(rng.expovariate(1.0 / mean_gap_ps)))`` calls would —
+    the open-loop sweep's historical draw — so batched prefetching keeps
+    injection schedules bit-identical to one-at-a-time draws.
+    """
+    lambd = 1.0 / mean_gap_ps
+    expovariate = rng.expovariate
+    gaps = []
+    append = gaps.append
+    for _ in range(count):
+        gap = int(expovariate(lambd))
+        append(gap if gap >= 1 else 1)
+    return gaps

@@ -291,3 +291,175 @@ def test_trace_fires_before_a_raising_callback(sim):
     with pytest.raises(RuntimeError):
         sim.run()
     assert traced == [7]  # the failing event was traced before dispatch
+
+
+# -- at_many (bulk scheduling) ------------------------------------------------
+# at_many is the engine's bulk-scheduling entry point; it must be
+# observationally identical to the equivalent sequence of at() calls.
+
+def test_at_many_dispatch_matches_sequential_at():
+    plan = [(30, "c"), (10, "a"), (10, "b"), (20, "x"), (0, "zero")]
+
+    def run_with_at():
+        sim = Simulator()
+        fired = []
+        for t, tag in plan:
+            sim.at(t, fired.append, tag)
+        sim.run()
+        return fired
+
+    def run_with_at_many():
+        sim = Simulator()
+        fired = []
+        count = sim.at_many((t, fired.append, (tag,)) for t, tag in plan)
+        assert count == len(plan)
+        sim.run()
+        return fired
+
+    assert run_with_at() == run_with_at_many()
+
+
+def test_at_many_interleaved_with_at_preserves_tie_order(sim):
+    """Ties at equal timestamps break by scheduling order regardless of
+    which API scheduled them — at, at_many, at again."""
+    fired = []
+    sim.at(50, fired.append, "a")
+    sim.at_many([(50, fired.append, ("b",)), (50, fired.append, ("c",)),
+                 (10, fired.append, ("early",))])
+    sim.at(50, fired.append, "d")
+    sim.at_many([(50, fired.append, ("e",))])
+    sim.run()
+    assert fired == ["early", "a", "b", "c", "d", "e"]
+
+
+def test_at_many_from_inside_a_callback(sim):
+    """Bulk scheduling during dispatch (the sweep's initial injections
+    happen before run(), but nothing forbids mid-run bulk adds)."""
+    fired = []
+
+    def seed_more():
+        sim.at_many([(sim.now + 5, fired.append, (tag,))
+                     for tag in ("x", "y")])
+
+    sim.at(10, seed_more)
+    sim.at(15, fired.append, "plain")
+    sim.run()
+    # same-time tie: "plain" (seq 1) precedes the mid-run adds
+    assert fired == ["plain", "x", "y"]
+
+
+def test_at_many_rejects_past_times(sim):
+    sim.at(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at_many([(50, lambda: None, ())])
+
+
+def test_at_many_empty_is_noop(sim):
+    assert sim.at_many([]) == 0
+    assert sim.pending() == 0
+
+
+def test_at_many_counts_in_pending(sim):
+    sim.at_many([(i, lambda: None, ()) for i in range(5)])
+    sim.at(10, lambda: None)
+    assert sim.pending() == 6
+    assert sim.run() == 6
+
+
+# -- trace-hook fast/slow loop switching --------------------------------------
+# run() dispatches through a hookless fast loop while sim.trace is None and
+# a traced loop otherwise; attaching/detaching mid-run must switch loops
+# without losing or double-dispatching events.
+
+def test_trace_hook_attached_mid_run_sees_only_later_events(sim):
+    traced, fired = [], []
+
+    def attach():
+        sim.trace = lambda t, fn, args: traced.append(t)
+
+    for t in (10, 20, 40, 50):
+        sim.at(t, fired.append, t)
+    sim.at(30, attach)
+    sim.run()
+    assert fired == [10, 20, 40, 50]
+    assert traced == [40, 50]  # events after the attachment, no replay
+
+
+def test_trace_hook_detached_mid_run_goes_quiet(sim):
+    traced, fired = [], []
+    sim.trace = lambda t, fn, args: traced.append(t)
+
+    def detach():
+        sim.trace = None
+
+    for t in (10, 20, 40, 50):
+        sim.at(t, fired.append, t)
+    sim.at(30, detach)
+    sim.run()
+    assert fired == [10, 20, 40, 50]
+    assert traced == [10, 20, 30]  # the detaching event itself is traced
+
+
+def test_trace_hook_toggled_repeatedly_mid_run(sim):
+    traced, fired = [], []
+    hook = lambda t, fn, args: traced.append(t)  # noqa: E731
+
+    def set_trace(value):
+        sim.trace = value
+
+    for t in (10, 30, 50, 70):
+        sim.at(t, fired.append, t)
+    sim.at(20, set_trace, hook)
+    sim.at(40, set_trace, None)
+    sim.at(60, set_trace, hook)
+    sim.run()
+    assert fired == [10, 30, 50, 70]
+    # traced windows: (20, 40] and (60, end] — plus the detach event at 40
+    assert traced == [30, 40, 70]
+
+
+def test_mid_run_attach_with_horizon_still_respects_horizon(sim):
+    traced = []
+
+    def attach():
+        sim.trace = lambda t, fn, args: traced.append(t)
+
+    sim.at(10, attach)
+    sim.at(20, lambda: None)
+    sim.at(900, lambda: None)
+    sim.run(until_ps=100)
+    assert traced == [20]
+    assert sim.now == 100
+    assert sim.pending() == 1
+
+
+# -- stop() on the final event under a horizon --------------------------------
+
+def test_stop_on_final_event_prevents_horizon_advance(sim):
+    """stop() fired by the very last queued event freezes the clock at
+    that event even though run() was given a later horizon."""
+    sim.at(10, lambda: None)
+    sim.at(60, sim.stop)  # final event — queue is empty afterwards
+    assert sim.run(until_ps=1000) == 2
+    assert sim.now == 60
+    assert sim.pending() == 0
+
+
+def test_stop_on_final_event_traced_run(sim):
+    """Same contract through the traced (slow) dispatch loop."""
+    traced = []
+    sim.trace = lambda t, fn, args: traced.append(t)
+    sim.at(10, lambda: None)
+    sim.at(60, sim.stop)
+    sim.run(until_ps=1000)
+    assert traced == [10, 60]
+    assert sim.now == 60
+
+
+def test_stop_at_exactly_the_horizon(sim):
+    sim.at(100, sim.stop)
+    sim.run(until_ps=100)
+    assert sim.now == 100
+    sim.at(150, lambda: None)  # clock must not have run past the event
+    assert sim.run() == 1

@@ -1,0 +1,138 @@
+"""Differential tests locking the PR 3 hot-path optimizations down.
+
+The optimized simulation core must be *observationally identical* to the
+reference behavior it replaced:
+
+* the engine's hookless fast dispatch loop vs the traced loop — same
+  dispatch order, proven by byte-identical canonical traces;
+* the sweep harness's block-prefetched RNG draws (``rng_block > 0``) vs
+  the legacy one-call-per-packet path (``rng_block=0``) — bit-identical
+  :class:`~repro.core.sweep.LoadPointResult` records, including the
+  exact ``events_dispatched`` count;
+* the per-network precomputed routing/latency tables vs the original
+  per-packet arithmetic — covered transitively: both comparisons above
+  run the table-driven networks, and the golden Figure 6 pins
+  (:mod:`tests.test_golden_figure6`) freeze their absolute numbers.
+
+Every network architecture is exercised at two load points: one well
+below saturation and one near or past the knee, where queues are deep
+and arbitration actually bites.
+"""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.sweep import run_load_point
+from repro.core.tracing import TraceRecorder
+from repro.macrochip.config import small_test_config
+from repro.networks.base import Packet
+from repro.networks.factory import build_network
+from repro.workloads.synthetic import UniformTraffic
+
+from .conftest import random_traffic
+
+CFG = small_test_config(4, 4)
+
+#: (network key, low load, high load) — the high points sit near each
+#: architecture's Figure 6 knee so contention paths are exercised
+NETWORK_LOADS = [
+    ("point_to_point", 0.05, 0.60),
+    ("limited_point_to_point", 0.05, 0.40),
+    ("token_ring", 0.05, 0.30),
+    ("two_phase", 0.02, 0.08),
+    ("circuit_switched", 0.01, 0.03),
+]
+
+NETWORKS = [key for key, _, _ in NETWORK_LOADS]
+
+LOAD_POINTS = [(key, load)
+               for key, low, high in NETWORK_LOADS
+               for load in (low, high)]
+
+
+def _canonical_trace(network: str, load: float, **kwargs) -> bytes:
+    rec = TraceRecorder()
+    run_load_point(network, CFG, UniformTraffic(CFG.layout), load,
+                   window_ns=80.0, seed=7, tracer=rec, **kwargs)
+    return b"\n".join(line.encode() for line in rec.canonical_lines())
+
+
+@pytest.mark.parametrize("network,load", LOAD_POINTS)
+def test_canonical_trace_identical_batched_vs_reference(network, load):
+    """The batched-RNG fast path and the legacy per-packet path must
+    emit byte-identical canonical traces: every injection, enqueue,
+    grant, transmission and delivery at the same picosecond in the same
+    order."""
+    fast = _canonical_trace(network, load)
+    reference = _canonical_trace(network, load, rng_block=0)
+    assert len(fast) > 0
+    assert fast == reference
+
+
+@pytest.mark.parametrize("network,load", LOAD_POINTS)
+def test_run_load_point_bit_identical_across_block_sizes(network, load):
+    """LoadPointResult is a pure function of its arguments; the RNG
+    prefetch block size must not leak into a single field — latencies
+    are compared exactly, not approximately."""
+    results = [run_load_point(network, CFG, UniformTraffic(CFG.layout),
+                              load, window_ns=80.0, seed=7,
+                              rng_block=block)
+               for block in (0, 1, 7, 64, 1024)]
+    baseline = results[0]
+    assert baseline.events_dispatched > 0
+    for other in results[1:]:
+        assert other == baseline
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+def test_traced_engine_loop_matches_fast_loop(network):
+    """Attaching an engine-level trace hook forces run() through the
+    slow dispatch loop; the network-level trace it produces must be
+    byte-identical to the fast loop's."""
+
+    def one_run(engine_hook: bool) -> bytes:
+        sim = Simulator()
+        net = build_network(network, CFG, sim)
+        rec = TraceRecorder()
+        net.set_tracer(rec)
+        if engine_hook:
+            sim.trace = lambda t, fn, args: None
+        for delay, src, dst, size in random_traffic(31, CFG.num_sites,
+                                                    n_packets=150):
+            sim.at(delay, net.inject, Packet(src, dst, size))
+        sim.run()
+        return b"\n".join(line.encode() for line in rec.canonical_lines())
+
+    fast = one_run(engine_hook=False)
+    traced = one_run(engine_hook=True)
+    assert len(fast) > 0
+    assert fast == traced
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+def test_at_many_injection_matches_sequential_at(network):
+    """Bulk-scheduling a network's initial injections via at_many must
+    deliver the same packets at the same times as sequential at()."""
+    traffic = random_traffic(77, CFG.num_sites, n_packets=100)
+
+    def one_run(bulk: bool):
+        sim = Simulator()
+        net = build_network(network, CFG, sim)
+        delivered = []
+        net.set_sink(lambda p: delivered.append(
+            (p.pid is not None, p.src, p.dst, p.size_bytes, p.t_deliver)))
+        packets = [Packet(src, dst, size)
+                   for _, src, dst, size in traffic]
+        if bulk:
+            sim.at_many((delay, net.inject, (pkt,))
+                        for (delay, _, _, _), pkt in zip(traffic, packets))
+        else:
+            for (delay, _, _, _), pkt in zip(traffic, packets):
+                sim.at(delay, net.inject, pkt)
+        events = sim.run()
+        return delivered, events, net.stats.delivered_packets
+
+    sequential = one_run(bulk=False)
+    bulk = one_run(bulk=True)
+    assert sequential == bulk
+    assert sequential[2] == len(traffic)

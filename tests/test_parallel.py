@@ -8,6 +8,7 @@ import pytest
 from repro.core.parallel import (
     Shard,
     ShardReport,
+    available_cpus,
     derive_seed,
     resolve_workers,
     run_sharded,
@@ -43,13 +44,59 @@ def test_derive_seed_fits_63_bits():
         assert 0 <= derive_seed(12345, site) < 2 ** 63
 
 
-# -- resolve_workers ----------------------------------------------------------
+# -- resolve_workers / available_cpus -----------------------------------------
 
 def test_resolve_workers_clamps_and_detects():
     assert resolve_workers(4) == 4
     assert resolve_workers(-3) == 1
     assert resolve_workers(None) >= 1
     assert resolve_workers(0) >= 1
+
+
+def test_available_cpus_positive():
+    assert available_cpus() >= 1
+
+
+def test_available_cpus_without_sched_getaffinity(monkeypatch):
+    """Non-Linux hosts have no os.sched_getaffinity at all; the helper
+    must fall back to cpu_count instead of raising AttributeError."""
+    monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 6)
+    assert available_cpus() == 6
+    assert resolve_workers(None) == 6
+
+
+def test_available_cpus_when_cpu_count_unknown(monkeypatch):
+    """cpu_count() may return None; the helper never reports < 1 core."""
+    monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: None)
+    assert available_cpus() == 1
+    assert resolve_workers(0) == 1
+
+
+def test_available_cpus_when_getaffinity_fails(monkeypatch):
+    def broken(pid):
+        raise OSError("affinity mask unavailable")
+
+    monkeypatch.setattr(os, "sched_getaffinity", broken, raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 3)
+    assert available_cpus() == 3
+
+
+def test_bench_runner_cpus_delegates(monkeypatch):
+    """benchmarks/bench_runner._cpus must survive the same failure path
+    (it used to duplicate the try/except inline)."""
+    import importlib.util
+
+    path = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "benchmarks", "bench_runner.py")
+    spec = importlib.util.spec_from_file_location("_bench_runner_under_test",
+                                                  path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 5)
+    assert mod._cpus() == 5
 
 
 # -- run_sharded --------------------------------------------------------------

@@ -1,14 +1,18 @@
 """Tests for the synthetic traffic patterns (Table 3)."""
 
+import random
+
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.core.parallel import derive_seed
 from repro.photonics.layout import MacrochipLayout
 from repro.workloads.synthetic import (
     ButterflyTraffic,
     NeighborTraffic,
     TransposeTraffic,
     UniformTraffic,
+    exponential_gaps,
     make_pattern,
     pattern_names,
 )
@@ -120,3 +124,84 @@ def test_all_patterns_produce_valid_sites(src):
         pat = make_pattern(name, LAYOUT, seed=1)
         dst = pat.destination(src)
         assert 0 <= dst < 64
+
+
+# -- batched draws must consume the RNG streams exactly like unbatched --------
+# The sweep harness prefetches per-site gap/destination draws in blocks;
+# bit-identical load points require block-size-independent sequences.
+
+BATCH_SIZES = [1, 7, 64, 1024]
+
+
+def _blocked(total, block):
+    """Block sizes covering ``total`` draws, last one partial."""
+    out = []
+    remaining = total
+    while remaining > 0:
+        take = min(block, remaining)
+        out.append(take)
+        remaining -= take
+    return out
+
+
+@pytest.mark.parametrize("name", pattern_names())
+@pytest.mark.parametrize("block", BATCH_SIZES)
+def test_batched_destinations_match_unbatched(name, block):
+    total = 1500
+    for src in (0, 13, 63):
+        seed = derive_seed(42, "dst", src)
+        unbatched_pat = make_pattern(name, LAYOUT, seed=seed)
+        batched_pat = make_pattern(name, LAYOUT, seed=seed)
+        unbatched = [unbatched_pat.destination(src) for _ in range(total)]
+        batched = []
+        for take in _blocked(total, block):
+            batched.extend(batched_pat.destinations(src, take))
+        assert batched == unbatched
+
+
+@given(st.integers(min_value=0, max_value=2 ** 63 - 1),
+       st.integers(min_value=0, max_value=63),
+       st.sampled_from(pattern_names()),
+       st.sampled_from(BATCH_SIZES))
+def test_batched_destinations_match_unbatched_any_seed(seed, src, name,
+                                                       block):
+    total = 200
+    a = make_pattern(name, LAYOUT, seed=seed)
+    b = make_pattern(name, LAYOUT, seed=seed)
+    unbatched = [a.destination(src) for _ in range(total)]
+    batched = []
+    for take in _blocked(total, block):
+        batched.extend(b.destinations(src, take))
+    assert batched == unbatched
+
+
+@pytest.mark.parametrize("block", BATCH_SIZES)
+def test_batched_exponential_gaps_match_unbatched(block):
+    total = 1500
+    for site in range(4):
+        for mean_gap_ps in (3, 222, 12_800):
+            seed = derive_seed(42, "gap", site)
+            rng_a = random.Random(seed)
+            unbatched = [max(1, int(rng_a.expovariate(1.0 / mean_gap_ps)))
+                         for _ in range(total)]
+            rng_b = random.Random(seed)
+            batched = []
+            for take in _blocked(total, block):
+                batched.extend(exponential_gaps(rng_b, mean_gap_ps, take))
+            assert batched == unbatched
+
+
+@given(st.integers(min_value=0, max_value=2 ** 63 - 1),
+       st.integers(min_value=1, max_value=10 ** 6),
+       st.sampled_from(BATCH_SIZES))
+def test_exponential_gaps_property(seed, mean_gap_ps, block):
+    total = 120
+    rng_a = random.Random(seed)
+    unbatched = [max(1, int(rng_a.expovariate(1.0 / mean_gap_ps)))
+                 for _ in range(total)]
+    rng_b = random.Random(seed)
+    batched = []
+    for take in _blocked(total, block):
+        batched.extend(exponential_gaps(rng_b, mean_gap_ps, take))
+    assert batched == unbatched
+    assert all(g >= 1 for g in batched)
