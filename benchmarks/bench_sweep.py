@@ -1,0 +1,277 @@
+"""Adaptive-vs-fixed sweep benchmark: emit ``results/BENCH_PR4.json``.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py
+        [--out results/BENCH_PR4.json] [--window-ns W] [--workers N]
+        [--baseline results/BENCH_PR3.json] [--quick]
+
+Runs the full Figure 6 grid (4 patterns x 5 networks) twice — once over
+the exact fixed load grids (:func:`repro.experiments.figure6.run_figure6`)
+and once through the adaptive knee-refinement driver
+(:func:`~repro.experiments.figure6.run_figure6_adaptive`) — and records,
+per network and in total:
+
+* simulator events dispatched and wall-clock for both modes, with the
+  adaptive-mode reduction ratios (the PR acceptance target is >= 2x
+  fewer events at the default window);
+* every (pattern, network) knee from both modes, with the offered-load
+  delta and whether it is within one bisection step of the fixed-grid
+  knee (tolerance = max(final bracket width, local fixed-grid spacing)).
+
+With ``--baseline`` pointing at a committed ``BENCH_PR3.json``, a
+host-sanity delta table compares this run's fixed-path events/sec per
+network against the PR 3 record (different workloads — a full sweep vs
+one near-knee point — so treat it as a drift indicator, not a
+benchmark).
+
+The script is *informational*: it always exits 0, so the CI perf job can
+never fail the build.  Wall-clock numbers are comparable between runs on
+the same host class only; events counts are deterministic everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+# allow both `python benchmarks/bench_sweep.py` (script dir on sys.path)
+# and execution from a checkout root without installing the package
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.experiments.figure6 import (  # noqa: E402
+    LOAD_GRIDS,
+    PANEL_ORDER,
+    run_figure6,
+    run_figure6_adaptive,
+)
+from repro.networks.factory import FIGURE6_NETWORKS  # noqa: E402
+
+from report import host_info  # noqa: E402
+
+#: default injection window — large enough that adaptive early stops
+#: amortize their checkpoint overhead and the >= 2x events target holds
+SWEEP_WINDOW_NS = 600.0
+
+
+def _knee_of_curve(points):
+    """The fixed-grid knee: best delivered fraction among unsaturated
+    points (falling back to best overall), exactly as
+    ``Figure6Result.saturation_table`` reads it."""
+    good = [p for p in points if not p.saturated]
+    return max(good or points, key=lambda p: p.delivered_fraction)
+
+
+def _grid_spacing_at(grid, offered):
+    """Local spacing of the fixed grid around the knee point — the
+    fixed methodology's own offered-load resolution there."""
+    i = grid.index(offered)
+    return grid[min(i + 1, len(grid) - 1)] - grid[max(i - 1, 0)]
+
+
+def compare_knees(fixed, adaptive) -> list:
+    """Per (pattern, network) knee agreement rows for two Figure6Results
+    (one fixed, one adaptive)."""
+    rows = []
+    for pattern in PANEL_ORDER:
+        if pattern not in adaptive.knees:
+            continue
+        for net, knee in adaptive.knees[pattern].items():
+            fixed_knee = _knee_of_curve(fixed.curves[pattern][net])
+            grid = LOAD_GRIDS[pattern]
+            spacing = _grid_spacing_at(grid, fixed_knee.offered_fraction)
+            resolution = knee.resolution
+            tolerance = max(resolution, spacing) \
+                if resolution != float("inf") else spacing
+            delta = abs(knee.knee_offered - fixed_knee.offered_fraction)
+            rows.append({
+                "pattern": pattern,
+                "network": net,
+                "fixed_knee_offered": fixed_knee.offered_fraction,
+                "fixed_knee_fraction": fixed_knee.delivered_fraction,
+                "adaptive_knee_offered": knee.knee_offered,
+                "adaptive_knee_fraction": knee.knee_fraction,
+                "bracket_low": knee.bracket_low,
+                "bracket_high": (knee.bracket_high
+                                 if knee.bracket_high != float("inf")
+                                 else None),
+                "resolution_offered": (resolution
+                                       if resolution != float("inf")
+                                       else None),
+                "delta_offered": delta,
+                "tolerance_offered": tolerance,
+                "within_one_step": delta <= tolerance,
+            })
+    return rows
+
+
+def run_comparison(window_ns: float, workers: int = 1,
+                   progress=None) -> dict:
+    """Run both sweep modes per network (so each mode gets a per-network
+    wall-clock and event count) and assemble the BENCH_PR4 document."""
+    networks = list(FIGURE6_NETWORKS)
+    per_network = {}
+    fixed_results = {}
+    adaptive_results = {}
+    for net in networks:
+        if progress:
+            progress("fixed sweep: %s" % net)
+        t0 = time.perf_counter()
+        fixed = run_figure6(window_ns=window_ns, networks=[net],
+                            workers=workers)
+        fixed_s = time.perf_counter() - t0
+        if progress:
+            progress("adaptive sweep: %s" % net)
+        t0 = time.perf_counter()
+        adaptive = run_figure6_adaptive(window_ns=window_ns,
+                                        networks=[net], workers=workers)
+        adaptive_s = time.perf_counter() - t0
+        fixed_results[net] = fixed
+        adaptive_results[net] = adaptive
+        per_network[net] = {
+            "fixed_events": fixed.total_events,
+            "fixed_load_points": fixed.load_points,
+            "fixed_wall_clock_s": fixed_s,
+            "fixed_events_per_sec": fixed.total_events / fixed_s,
+            "adaptive_events": adaptive.total_events,
+            "adaptive_load_points": adaptive.load_points,
+            "adaptive_wall_clock_s": adaptive_s,
+            "adaptive_events_per_sec": adaptive.total_events / adaptive_s,
+            "events_ratio": fixed.total_events
+            / max(1, adaptive.total_events),
+            "wall_clock_ratio": fixed_s / adaptive_s
+            if adaptive_s > 0 else None,
+        }
+
+    knees = []
+    for net in networks:
+        knees.extend(compare_knees(fixed_results[net],
+                                   adaptive_results[net]))
+
+    fixed_events = sum(r["fixed_events"] for r in per_network.values())
+    adaptive_events = sum(r["adaptive_events"]
+                          for r in per_network.values())
+    fixed_wall = sum(r["fixed_wall_clock_s"] for r in per_network.values())
+    adaptive_wall = sum(r["adaptive_wall_clock_s"]
+                        for r in per_network.values())
+    return {
+        "schema": "repro-bench-pr4/1",
+        "generated_unix": time.time(),
+        "host": host_info(),
+        "window_ns": window_ns,
+        "workers": workers,
+        "totals": {
+            "fixed_events": fixed_events,
+            "fixed_load_points": sum(r["fixed_load_points"]
+                                     for r in per_network.values()),
+            "fixed_wall_clock_s": fixed_wall,
+            "adaptive_events": adaptive_events,
+            "adaptive_load_points": sum(r["adaptive_load_points"]
+                                        for r in per_network.values()),
+            "adaptive_wall_clock_s": adaptive_wall,
+            "events_ratio": fixed_events / max(1, adaptive_events),
+            "wall_clock_ratio": fixed_wall / adaptive_wall
+            if adaptive_wall > 0 else None,
+        },
+        "networks": per_network,
+        "knees": knees,
+        "all_knees_within_one_step": all(k["within_one_step"]
+                                         for k in knees),
+        "meets_2x_events_target": fixed_events
+        >= 2.0 * adaptive_events,
+    }
+
+
+def print_report(report: dict) -> None:
+    t = report["totals"]
+    print("figure 6 sweep, fixed vs adaptive (window %.0f ns, %d worker(s)):"
+          % (report["window_ns"], report["workers"]))
+    print("  %-24s %10s %8s %9s | %10s %8s %9s | %6s %6s"
+          % ("network", "fix ev", "fix pts", "fix s",
+             "ad ev", "ad pts", "ad s", "ev x", "wall x"))
+    for net, r in report["networks"].items():
+        print("  %-24s %10d %8d %8.2fs | %10d %8d %8.2fs | %5.2fx %5.2fx"
+              % (net, r["fixed_events"], r["fixed_load_points"],
+                 r["fixed_wall_clock_s"], r["adaptive_events"],
+                 r["adaptive_load_points"], r["adaptive_wall_clock_s"],
+                 r["events_ratio"], r["wall_clock_ratio"] or 0.0))
+    print("  %-24s %10d %8d %8.2fs | %10d %8d %8.2fs | %5.2fx %5.2fx"
+          % ("TOTAL", t["fixed_events"], t["fixed_load_points"],
+             t["fixed_wall_clock_s"], t["adaptive_events"],
+             t["adaptive_load_points"], t["adaptive_wall_clock_s"],
+             t["events_ratio"], t["wall_clock_ratio"] or 0.0))
+    print("  >=2x fewer events: %s   all knees within one step: %s"
+          % (report["meets_2x_events_target"],
+             report["all_knees_within_one_step"]))
+    off = [k for k in report["knees"] if not k["within_one_step"]]
+    for k in off:
+        print("  KNEE OFF: %s/%s fixed@%.4f adaptive@%.4f (tol %.4f)"
+              % (k["pattern"], k["network"], k["fixed_knee_offered"],
+                 k["adaptive_knee_offered"], k["tolerance_offered"]))
+
+
+def print_baseline_delta(report: dict, baseline_path: str) -> None:
+    """Host-sanity drift table against the committed PR 3 record."""
+    try:
+        with open(baseline_path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print("no PR3 baseline comparison (%s)" % exc)
+        return
+    nets = baseline.get("networks", {})
+    if not nets:
+        print("no PR3 baseline comparison (no networks in %s)"
+              % baseline_path)
+        return
+    print("fixed-sweep events/sec vs %s (different workloads — drift "
+          "indicator only):" % baseline_path)
+    for net, r in report["networks"].items():
+        base = nets.get(net, {}).get("events_per_sec")
+        if not base:
+            continue
+        now = r["fixed_events_per_sec"]
+        print("  %-24s %12.0f ev/s  vs PR3 %12.0f ev/s  (%+.1f%%)"
+              % (net, now, base, 100.0 * (now - base) / base))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="results/BENCH_PR4.json",
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--window-ns", type=float, default=SWEEP_WINDOW_NS,
+                        help="injection window per load point")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes inside each sweep "
+                             "(events counts are identical for any "
+                             "value; wall-clock ratios are most "
+                             "meaningful serially)")
+    parser.add_argument("--baseline", default="results/BENCH_PR3.json",
+                        help="committed PR3 artifact for the events/sec "
+                             "drift table ('' to skip)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI preset: short window")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.window_ns = min(args.window_ns, 150.0)
+
+    report = run_comparison(args.window_ns, workers=args.workers,
+                            progress=lambda m: print(".. %s" % m,
+                                                     file=sys.stderr))
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print_report(report)
+    if args.baseline:
+        print_baseline_delta(report, args.baseline)
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

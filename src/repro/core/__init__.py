@@ -1,6 +1,7 @@
 """Core simulation infrastructure: event engine, units, statistics,
 structured tracing, and invariant checking."""
 
+from .adaptive import AdaptiveConfig, KneeResult, refine_knee
 from .engine import SimulationError, Simulator
 from .invariants import InvariantMonitor, InvariantViolation, Violation, check_trace
 from .stats import EnergyAccount, LatencySample, NetworkStats, ThroughputMeter
@@ -10,6 +11,9 @@ from .tracing import TraceEvent, TraceRecorder
 __all__ = [
     "Simulator",
     "SimulationError",
+    "AdaptiveConfig",
+    "KneeResult",
+    "refine_knee",
     "NetworkStats",
     "LatencySample",
     "ThroughputMeter",

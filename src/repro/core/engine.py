@@ -177,6 +177,15 @@ class Simulator:
         would fire strictly after ``until_ps``.  When a horizon is given the
         clock is advanced to the horizon on return.  Returns the number of
         events dispatched.
+
+        ``run`` is *resumable*: calling it again with a later horizon
+        continues exactly where the previous call left off.  Slicing one
+        horizon into ``run(t1); run(t2); ...; run(tN)`` dispatches the
+        same events in the same order as a single ``run(tN)`` (an event
+        peeked past an intermediate horizon is returned to its tier by
+        ``_unpop`` untouched), which is what lets the adaptive sweep
+        executor (:mod:`repro.core.adaptive`) checkpoint stop rules
+        between slices while staying bit-identical when no rule fires.
         """
         if self._running:
             raise SimulationError("simulator is already running")

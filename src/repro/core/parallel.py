@@ -30,6 +30,7 @@ explicitly *not* deterministic.
 from __future__ import annotations
 
 import hashlib
+import math
 import os
 import time
 from dataclasses import dataclass, field
@@ -139,10 +140,20 @@ class ShardedRun:
 
     @property
     def speedup(self) -> float:
-        """Observed speedup over running the same shards back-to-back."""
-        if self.wall_clock_s <= 0:
-            return float("nan")
-        return self.total_shard_seconds / self.wall_clock_s
+        """Observed speedup over running the same shards back-to-back.
+
+        Always finite: on very fast runs the wall clock can quantize to
+        zero (or, through telemetry arithmetic, go NaN), in which case no
+        speedup is measurable and 1.0 is reported instead of ``inf``/
+        ``nan`` leaking into reports and JSON artifacts.
+        """
+        wall = self.wall_clock_s
+        if not (wall > 0.0) or not math.isfinite(wall):
+            return 1.0
+        ratio = self.total_shard_seconds / wall
+        if not math.isfinite(ratio):
+            return 1.0
+        return ratio
 
     def summary(self) -> str:
         return ("%d shards on %d worker(s) [%s]: %.2fs wall, %.2fs "
@@ -172,6 +183,25 @@ def _invoke(payload: Tuple[int, Shard]) -> Tuple[int, Any, float, int]:
     return index, result, elapsed, os.getpid()
 
 
+def _submission_order(shards: Sequence[Shard],
+                      cost_key: Optional[Callable[[Shard], float]]
+                      ) -> List[int]:
+    """Pool-submission order: most expensive shards first.
+
+    With a ``cost_key`` the indices are sorted by descending estimated
+    cost (ties keep submission order — the sort is stable), so a long
+    shard starts immediately instead of serializing the pool's tail; an
+    adaptive sweep whose saturated points abort early would otherwise
+    idle every worker while one late-submitted expensive point finishes.
+    Without a key, natural order is kept.  This never affects results:
+    they are keyed by original index either way.
+    """
+    indices = list(range(len(shards)))
+    if cost_key is not None:
+        indices.sort(key=lambda i: -float(cost_key(shards[i])))
+    return indices
+
+
 def _pick_context(start_method: Optional[str]):
     """Choose a multiprocessing context, preferring ``fork`` (cheap,
     inherits ``sys.path``) and falling back to the platform default."""
@@ -188,7 +218,9 @@ def _pick_context(start_method: Optional[str]):
 def run_sharded(shards: Sequence[Shard],
                 workers: Optional[int] = 1,
                 progress: Optional[Callable[[str], None]] = None,
-                start_method: Optional[str] = None) -> ShardedRun:
+                start_method: Optional[str] = None,
+                cost_key: Optional[Callable[[Shard], float]] = None
+                ) -> ShardedRun:
     """Execute every shard and return results in submission order.
 
     ``workers=1`` (the default) runs everything in-process — the
@@ -196,6 +228,13 @@ def run_sharded(shards: Sequence[Shard],
     worker per available CPU.  If the pool cannot be created (platforms
     without working ``multiprocessing`` primitives), the run silently
     degrades to serial execution; results are identical either way.
+
+    ``cost_key`` (optional) estimates a shard's relative cost; when a
+    pool is used, shards are *submitted* in descending-cost order so the
+    expensive ones never serialize the run's tail.  Because results are
+    reassembled by original index, the returned lists are bit-identical
+    with or without a cost key — ordering is purely a wall-clock
+    optimization (see the determinism contract above).
     """
     shards = list(shards)
     n_workers = min(resolve_workers(workers), max(1, len(shards)))
@@ -235,9 +274,12 @@ def run_sharded(shards: Sequence[Shard],
     else:
         try:
             # unordered completion is fine: results are keyed by index,
-            # so the returned list never depends on scheduling order
+            # so the returned list never depends on scheduling order —
+            # which is also why cost-sorted submission is safe
+            payloads = [(i, shards[i])
+                        for i in _submission_order(shards, cost_key)]
             for index, result, elapsed, pid in pool.imap_unordered(
-                    _invoke, list(enumerate(shards))):
+                    _invoke, payloads):
                 _record(index, result, elapsed, pid)
         finally:
             pool.close()

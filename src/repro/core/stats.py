@@ -55,6 +55,14 @@ class LatencySample:
         return self._n
 
     @property
+    def sum_ps(self) -> int:
+        """Running sum of all observations, in picoseconds.  Together
+        with :attr:`count` this lets checkpointed readers (the adaptive
+        executor's batch-means test) compute the mean of any
+        inter-checkpoint span as a pair of O(1) snapshot deltas."""
+        return self._sum
+
+    @property
     def mean_ps(self) -> float:
         if not self._n:
             return float("nan")

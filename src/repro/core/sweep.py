@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from .adaptive import AdaptiveConfig, execute_adaptive
 from .engine import Simulator
 from .parallel import Shard, derive_seed, run_sharded
 from .tracing import TraceRecorder
@@ -45,6 +46,14 @@ class LoadPointResult:
     #: simulator events dispatched — deterministic for a fixed seed, so
     #: it participates in the bit-identical serial-vs-parallel contract
     events_dispatched: int = 0
+    #: why the simulation ceased: 'drained' (queue emptied) or 'horizon'
+    #: (window + drain fully simulated) on the fixed path; adaptive runs
+    #: may add 'converged' or 'saturated' (see repro.core.adaptive)
+    stop_reason: str = "horizon"
+    #: simulation clock when it ceased — the horizon for 'drained'/
+    #: 'horizon' (matching the single-shot run's clock convention), the
+    #: firing checkpoint for adaptive early stops
+    stopped_at_ps: int = 0
 
 
 @dataclass(frozen=True)
@@ -68,7 +77,10 @@ def run_load_point(network_name: str,
                    network_kwargs: Optional[dict] = None,
                    tracer: Optional[TraceRecorder] = None,
                    check_invariants: bool = False,
-                   rng_block: int = 256) -> LoadPointResult:
+                   rng_block: int = 256,
+                   saturation_threshold: float = 0.99,
+                   adaptive: Optional[AdaptiveConfig] = None
+                   ) -> LoadPointResult:
     """Simulate one point of a latency-vs-load curve.
 
     ``offered_fraction`` is per-site offered load as a fraction of the
@@ -96,6 +108,21 @@ def run_load_point(network_name: str,
     :func:`~repro.workloads.synthetic.exponential_gaps`), so every block
     size — including ``rng_block=0``, the legacy one-draw-per-packet
     path kept for differential testing — produces bit-identical results.
+
+    ``saturation_threshold`` defines the saturation verdict, shared by
+    the fixed and adaptive paths: a point is saturated when it delivers
+    less than this fraction of what it injected by the end of the drain
+    (the pre-PR-4 behavior hard-coded 0.99 — still the default — which
+    tolerates the <1% of packets legitimately in flight when a healthy
+    run hits the bounded drain horizon).
+
+    ``adaptive`` opts into checkpointed execution
+    (:mod:`repro.core.adaptive`): the run is stepped in horizon slices
+    and may stop early once the mean latency converges (verdict:
+    unsaturated) or saturation is proven (verdict: saturated) — see
+    :attr:`LoadPointResult.stop_reason`.  ``adaptive=None`` (the
+    default) keeps the exact legacy fixed-window run; a config with both
+    stop rules disabled is bit-identical to it.
     """
     if not 0.0 < offered_fraction:
         raise ValueError("offered load must be positive")
@@ -169,7 +196,15 @@ def run_load_point(network_name: str,
             sim.at(first, injector, site, packets_per_site)
 
     horizon = int(inject_window_ps * (1.0 + drain_factor))
-    events = sim.run(until_ps=horizon)
+    if adaptive is not None:
+        events, stop_reason, stopped_at_ps = execute_adaptive(
+            sim, net.stats, inject_window_ps, horizon, adaptive,
+            saturation_threshold,
+            planned_injections=packets_per_site * config.num_sites)
+    else:
+        events = sim.run(until_ps=horizon)
+        stop_reason = "horizon" if sim.pending() else "drained"
+        stopped_at_ps = horizon
 
     if check_invariants:
         from .invariants import InvariantViolation, check_trace
@@ -184,7 +219,12 @@ def run_load_point(network_name: str,
     stats = net.stats
     delivered = stats.delivered_packets
     injected = stats.injected_packets
-    saturated = delivered < injected * 0.99
+    if stop_reason == "saturated":
+        saturated = True
+    elif stop_reason == "converged":
+        saturated = False
+    else:
+        saturated = delivered < injected * saturation_threshold
     mean_lat = stats.latency.mean_ns if len(stats.latency) else float("nan")
     p99 = stats.latency.percentile_ns(99.0) if len(stats.latency) else float("nan")
     # measure over [warmup, last delivery]: an unsaturated network drains
@@ -201,6 +241,8 @@ def run_load_point(network_name: str,
         injected_packets=injected,
         saturated=saturated,
         events_dispatched=events,
+        stop_reason=stop_reason,
+        stopped_at_ps=stopped_at_ps,
     )
 
 
@@ -231,7 +273,12 @@ def sweep(network_name: str,
     Load points are independent simulations, so with ``workers > 1`` they
     are sharded across processes via :func:`repro.core.parallel.
     run_sharded`; every point's RNG streams derive from its own arguments,
-    so results are bit-identical to the ``workers=1`` serial path.
+    so results are bit-identical to the ``workers=1`` serial path.  High
+    loads inject (and queue) the most packets, so shards are submitted in
+    descending-load order — the run never serializes on a late-submitted
+    expensive tail.  Extra keywords (``adaptive``, ``rng_block``,
+    ``saturation_threshold``, ``check_invariants``, ...) pass through to
+    every :func:`run_load_point`.
     """
     shards = [
         Shard(run_load_point,
@@ -240,7 +287,8 @@ def sweep(network_name: str,
               label="%s/%s @%.3f" % (network_name, pattern.name, f))
         for f in fractions
     ]
-    run = run_sharded(shards, workers=workers, progress=progress)
+    run = run_sharded(shards, workers=workers, progress=progress,
+                      cost_key=lambda s: s.args[3])
     return [to_sweep_point(r, config) for r in run.results]
 
 

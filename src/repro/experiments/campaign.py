@@ -233,7 +233,12 @@ class Campaign:
                 todo.append(Shard(
                     _replay_entry, args=(trace, net, self.config),
                     label="replay %s on %s" % (workload, net)))
-        run = run_sharded(todo, workers=n_workers)
+        # biggest traces first: replay cost scales with coherence-op
+        # count, and a late-submitted big workload would otherwise leave
+        # the pool idling on a one-shard tail (results are keyed by
+        # index, so ordering never changes them)
+        run = run_sharded(todo, workers=n_workers,
+                          cost_key=lambda s: s.args[0].total_ops)
         for entry in run.results:
             with open(self._result_path(entry.workload,
                                         entry.network), "w") as fh:

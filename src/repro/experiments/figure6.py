@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.tables import render_series, render_table
+from ..core.adaptive import AdaptiveConfig, KneeResult, refine_knee
 from ..core.parallel import Shard, run_sharded
 from ..core.sweep import SweepPoint, run_load_point, to_sweep_point
 from ..macrochip.config import MacrochipConfig, scaled_config
@@ -42,6 +43,14 @@ class Figure6Result:
     #: curves[pattern][network] -> list of SweepPoint
     curves: Dict[str, Dict[str, List[SweepPoint]]] = field(
         default_factory=dict)
+    #: 'fixed' (exact legacy grids) or 'adaptive' (knee refinement)
+    mode: str = "fixed"
+    #: simulator events across every load point (sweep-cost telemetry)
+    total_events: int = 0
+    #: number of load points simulated
+    load_points: int = 0
+    #: knees[pattern][network] -> KneeResult (adaptive mode only)
+    knees: Dict[str, Dict[str, KneeResult]] = field(default_factory=dict)
 
     def saturation_table(self) -> List[Tuple[str, str, float]]:
         """(pattern, network, knee fraction-of-peak) rows.
@@ -67,14 +76,19 @@ def run_figure6(config: MacrochipConfig = None,
                 networks: Optional[List[str]] = None,
                 load_grids: Optional[Dict[str, List[float]]] = None,
                 progress=None,
-                workers: int = 1) -> Figure6Result:
-    """Run the Figure 6 sweeps.
+                workers: int = 1,
+                rng_block: int = 256) -> Figure6Result:
+    """Run the Figure 6 sweeps over the exact fixed load grids.
 
     ``window_ns`` controls fidelity (injection window per load point);
     patterns/networks/load grids can be filtered for quick runs.  With
     ``workers > 1`` the whole (pattern, network, load) grid flattens
     into one shard list — each load point is an independent, seeded
-    simulation — so curves are bit-identical to a serial run.
+    simulation — so curves are bit-identical to a serial run; expensive
+    high-load shards are submitted first (cost-keyed by offered load) so
+    the pool never idles on a long tail.  ``rng_block`` passes through
+    to every load point (0 = legacy one-draw-per-packet RNG path; any
+    value is bit-identical, see :func:`repro.core.sweep.run_load_point`).
     """
     cfg = config or scaled_config()
     result = Figure6Result(window_ns=window_ns)
@@ -93,14 +107,101 @@ def run_figure6(config: MacrochipConfig = None,
                 shards.append(Shard(
                     run_load_point,
                     args=(net, cfg, pattern, fraction),
-                    kwargs=dict(window_ns=window_ns),
+                    kwargs=dict(window_ns=window_ns, rng_block=rng_block),
                     label="figure6 %s/%s @%.3f"
                           % (pattern_key, net, fraction)))
-    run = run_sharded(shards, workers=workers, progress=progress)
+    run = run_sharded(shards, workers=workers, progress=progress,
+                      cost_key=lambda s: s.args[3])
     if progress:
         progress(run.summary())
     for (pattern_key, net), point in zip(keys, run.results):
         result.curves[pattern_key][net].append(to_sweep_point(point, cfg))
+    result.total_events = run.total_events
+    result.load_points = len(shards)
+    return result
+
+
+def adaptive_coarse_grid(grid: List[float], stride: int = 2) -> List[float]:
+    """Thin a fixed load grid for coarse knee probing: every ``stride``-th
+    point, always keeping the first (an unsaturated anchor) and the last
+    (the pattern's sweep ceiling, so a saturated probe exists whenever
+    the fixed grid had one)."""
+    if stride < 1:
+        raise ValueError("stride must be >= 1, got %r" % (stride,))
+    coarse = list(grid[::stride])
+    if grid and grid[-1] not in coarse:
+        coarse.append(grid[-1])
+    return coarse
+
+
+def _knee_shard(net: str, cfg: MacrochipConfig, pattern, coarse: List[float],
+                window_ns: float, bisections: int,
+                adaptive: AdaptiveConfig, rng_block: int) -> KneeResult:
+    """Module-level (picklable) shard body: one (pattern, network) knee
+    refinement, run serially inside its worker."""
+    return refine_knee(net, cfg, pattern, coarse, window_ns=window_ns,
+                       bisections=bisections, adaptive=adaptive,
+                       rng_block=rng_block)
+
+
+def run_figure6_adaptive(config: MacrochipConfig = None,
+                         window_ns: float = 1200.0,
+                         patterns: Optional[List[str]] = None,
+                         networks: Optional[List[str]] = None,
+                         load_grids: Optional[Dict[str, List[float]]] = None,
+                         coarse_stride: int = 4,
+                         bisections: int = 3,
+                         adaptive: Optional[AdaptiveConfig] = None,
+                         progress=None,
+                         workers: int = 1,
+                         rng_block: int = 256) -> Figure6Result:
+    """The adaptive counterpart of :func:`run_figure6`.
+
+    Instead of walking the fixed grids, every (pattern, network) pair
+    runs :func:`repro.core.adaptive.refine_knee`: an ascending probe of
+    the thinned grid (``coarse_stride``, stopping at the first saturated
+    load) followed by ``bisections`` halvings of the knee bracket, with
+    each load point checkpointed under ``adaptive`` (default
+    :class:`AdaptiveConfig`) so converged and saturated points stop
+    early.  Curves contain the probed points
+    (ascending load) and ``result.knees`` the per-pair
+    :class:`~repro.core.adaptive.KneeResult`; ``saturation_table()``
+    reads knees off these curves exactly as in fixed mode.
+
+    Results can differ (slightly) from the fixed grids — that is the
+    point: far fewer simulated events for a knee of equal-or-better
+    offered-load resolution.  The fixed path stays the default
+    everywhere, and ``benchmarks/bench_sweep.py`` records the deltas.
+    """
+    cfg = config or scaled_config()
+    stop_rules = adaptive if adaptive is not None else AdaptiveConfig()
+    result = Figure6Result(window_ns=window_ns, mode="adaptive")
+    pats = patterns or PANEL_ORDER
+    nets = networks or list(FIGURE6_NETWORKS)
+    grids = load_grids or LOAD_GRIDS
+    keys = []
+    shards = []
+    for pattern_key in pats:
+        result.curves[pattern_key] = {}
+        result.knees[pattern_key] = {}
+        coarse = adaptive_coarse_grid(grids[pattern_key], coarse_stride)
+        for net in nets:
+            pattern = make_pattern(pattern_key, cfg.layout)
+            keys.append((pattern_key, net))
+            shards.append(Shard(
+                _knee_shard,
+                args=(net, cfg, pattern, coarse, window_ns, bisections,
+                      stop_rules, rng_block),
+                label="figure6-adaptive %s/%s" % (pattern_key, net)))
+    run = run_sharded(shards, workers=workers, progress=progress,
+                      cost_key=lambda s: sum(s.args[3]))
+    if progress:
+        progress(run.summary())
+    for (pattern_key, net), knee in zip(keys, run.results):
+        result.curves[pattern_key][net] = list(knee.points)
+        result.knees[pattern_key][net] = knee
+        result.total_events += knee.events_dispatched
+        result.load_points += knee.load_points
     return result
 
 
@@ -130,6 +231,21 @@ def figure6_text(result: Figure6Result) -> str:
     blocks.append(render_table(
         ["Pattern", "Network", "Sustained (% of peak)"], sat_rows,
         title="Figure 6 summary: sustained bandwidth at the knee"))
+    if result.knees:
+        knee_rows = []
+        for pattern_key in PANEL_ORDER:
+            for net, knee in result.knees.get(pattern_key, {}).items():
+                hi = ("%.4f" % knee.bracket_high
+                      if knee.bracket_high != float("inf") else "-")
+                knee_rows.append((
+                    pattern_key, NETWORK_CLASSES[net].name,
+                    "%.4f" % knee.bracket_low, hi,
+                    "%d" % knee.load_points, "%d" % knee.events_dispatched))
+        blocks.append(render_table(
+            ["Pattern", "Network", "Knee >= (load)", "Knee < (load)",
+             "Points", "Events"],
+            knee_rows,
+            title="Adaptive knee refinement: offered-load brackets"))
     return "\n\n".join(blocks)
 
 
@@ -137,11 +253,15 @@ if __name__ == "__main__":  # pragma: no cover
     import sys
 
     quick = "--quick" in sys.argv
+    adaptive_mode = "--adaptive" in sys.argv
     n_workers = 1
     for arg in sys.argv[1:]:
         if arg.startswith("--workers="):
             n_workers = int(arg.split("=", 1)[1])
-    res = run_figure6(window_ns=400.0 if quick else 1200.0,
-                      progress=lambda m: print("..", m, file=sys.stderr),
-                      workers=n_workers)
+    driver = run_figure6_adaptive if adaptive_mode else run_figure6
+    res = driver(window_ns=400.0 if quick else 1200.0,
+                 progress=lambda m: print("..", m, file=sys.stderr),
+                 workers=n_workers)
     print(figure6_text(res))
+    print("\n%s mode: %d load points, %d simulator events"
+          % (res.mode, res.load_points, res.total_events), file=sys.stderr)

@@ -73,6 +73,59 @@ class TestRunCli:
         assert rc == 0
         assert (tmp_path / "tables.txt").exists()
 
+    @pytest.fixture
+    def figure6_stubs(self, monkeypatch):
+        """Capture which Figure 6 driver `generate` dispatches to and
+        with what kwargs, without simulating anything."""
+        from repro.experiments import run as run_mod
+
+        calls = {}
+
+        class _Stub:
+            mode = "stub"
+            load_points = 0
+            total_events = 0
+
+        def fake_fixed(**kwargs):
+            calls["driver"] = "fixed"
+            calls["kwargs"] = kwargs
+            return _Stub()
+
+        def fake_adaptive(**kwargs):
+            calls["driver"] = "adaptive"
+            calls["kwargs"] = kwargs
+            return _Stub()
+
+        monkeypatch.setattr(run_mod, "run_figure6", fake_fixed)
+        monkeypatch.setattr(run_mod, "run_figure6_adaptive", fake_adaptive)
+        monkeypatch.setattr(run_mod, "figure6_text", lambda r: "stub text")
+        return calls
+
+    def test_generate_figure6_default_is_fixed_grid(self, figure6_stubs):
+        from repro.experiments.run import generate
+
+        out = generate("figure6", "smoke", window_ns=100.0)
+        assert out == {"figure6": "stub text"}
+        assert figure6_stubs["driver"] == "fixed"
+        assert figure6_stubs["kwargs"]["rng_block"] == 256
+
+    def test_generate_figure6_adaptive_dispatch(self, figure6_stubs):
+        from repro.experiments.run import generate
+
+        generate("figure6", "smoke", window_ns=100.0, adaptive=True,
+                 rng_block=0)
+        assert figure6_stubs["driver"] == "adaptive"
+        assert figure6_stubs["kwargs"]["rng_block"] == 0
+
+    def test_main_plumbs_adaptive_and_rng_block_flags(self, figure6_stubs):
+        from repro.experiments.run import main
+
+        rc = main(["--artifact", "figure6", "--adaptive",
+                   "--rng-block", "64"])
+        assert rc == 0
+        assert figure6_stubs["driver"] == "adaptive"
+        assert figure6_stubs["kwargs"]["rng_block"] == 64
+
 
 class TestTaxonomy:
     """Section 4.1's classification of optical network architectures."""

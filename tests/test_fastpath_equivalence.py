@@ -12,7 +12,12 @@ reference behavior it replaced:
 * the per-network precomputed routing/latency tables vs the original
   per-packet arithmetic — covered transitively: both comparisons above
   run the table-driven networks, and the golden Figure 6 pins
-  (:mod:`tests.test_golden_figure6`) freeze their absolute numbers.
+  (:mod:`tests.test_golden_figure6`) freeze their absolute numbers;
+* (PR 4) the checkpointed adaptive executor with both stop rules
+  disabled vs the single-shot ``sim.run(until_ps=horizon)`` call —
+  slicing one horizon into many ``run()`` calls must dispatch identical
+  events in identical order, proven by byte-identical canonical traces
+  and exact ``LoadPointResult`` equality.
 
 Every network architecture is exercised at two load points: one well
 below saturation and one near or past the knee, where queues are deep
@@ -21,6 +26,7 @@ and arbitration actually bites.
 
 import pytest
 
+from repro.core.adaptive import AdaptiveConfig
 from repro.core.engine import Simulator
 from repro.core.sweep import run_load_point
 from repro.core.tracing import TraceRecorder
@@ -82,6 +88,34 @@ def test_run_load_point_bit_identical_across_block_sizes(network, load):
     assert baseline.events_dispatched > 0
     for other in results[1:]:
         assert other == baseline
+
+
+@pytest.mark.parametrize("network,load", LOAD_POINTS)
+def test_adaptive_disabled_bit_identical_to_single_shot(network, load):
+    """The checkpointed executor with both stop rules off is a pure
+    re-slicing of the legacy run: every LoadPointResult field — latency
+    floats, event counts, stop reason, final clock — must match
+    exactly."""
+    pattern = UniformTraffic(CFG.layout)
+    legacy = run_load_point(network, CFG, pattern, load,
+                            window_ns=80.0, seed=7)
+    sliced = run_load_point(network, CFG, pattern, load,
+                            window_ns=80.0, seed=7,
+                            adaptive=AdaptiveConfig().disabled())
+    assert sliced == legacy
+
+
+@pytest.mark.parametrize("network,load", LOAD_POINTS)
+def test_canonical_trace_identical_adaptive_disabled_vs_single_shot(
+        network, load):
+    """Same contract at event granularity: slicing the horizon into
+    checkpoints must not reorder or displace a single dispatched
+    event."""
+    single_shot = _canonical_trace(network, load)
+    sliced = _canonical_trace(network, load,
+                              adaptive=AdaptiveConfig().disabled())
+    assert len(sliced) > 0
+    assert sliced == single_shot
 
 
 @pytest.mark.parametrize("network", NETWORKS)

@@ -8,6 +8,8 @@ import pytest
 from repro.core.parallel import (
     Shard,
     ShardReport,
+    ShardedRun,
+    _submission_order,
     available_cpus,
     derive_seed,
     resolve_workers,
@@ -164,6 +166,59 @@ def test_events_telemetry_from_load_points():
         kwargs=dict(window_ns=100.0))], workers=1)
     assert run.reports[0].events_dispatched > 0
     assert run.total_events == run.reports[0].events_dispatched
+
+
+# -- speedup guard ------------------------------------------------------------
+
+def _run_with_wall(wall_clock_s, shard_seconds=(0.5, 0.5)):
+    return ShardedRun(
+        results=[None] * len(shard_seconds),
+        reports=[ShardReport(index=i, label="", wall_clock_s=s,
+                             events_dispatched=0, worker_pid=0)
+                 for i, s in enumerate(shard_seconds)],
+        workers=2, mode="fork", wall_clock_s=wall_clock_s)
+
+
+def test_speedup_finite_when_wall_clock_quantizes_to_zero():
+    run = _run_with_wall(0.0)
+    assert run.speedup == 1.0
+    assert "1.00x speedup" in run.summary()
+
+
+def test_speedup_finite_on_nan_and_negative_wall_clock():
+    assert _run_with_wall(float("nan")).speedup == 1.0
+    assert _run_with_wall(-1.0).speedup == 1.0
+    # degenerate telemetry inside the ratio is also caught
+    assert _run_with_wall(1.0, (float("inf"), 0.5)).speedup == 1.0
+
+
+def test_speedup_normal_case_unchanged():
+    run = _run_with_wall(0.5)
+    assert run.speedup == pytest.approx(2.0)
+
+
+# -- cost-keyed submission order ----------------------------------------------
+
+def test_submission_order_descending_cost_stable_ties():
+    shards = [Shard(_square, args=(i,)) for i in range(5)]
+    costs = {0: 1.0, 1: 5.0, 2: 5.0, 3: 0.5, 4: 9.0}
+    order = _submission_order(shards, lambda s: costs[s.args[0]])
+    assert order == [4, 1, 2, 0, 3]  # ties (1, 2) keep submission order
+
+
+def test_submission_order_without_key_is_natural():
+    shards = [Shard(_square, args=(i,)) for i in range(4)]
+    assert _submission_order(shards, None) == [0, 1, 2, 3]
+
+
+def test_cost_key_never_changes_results():
+    shards = [Shard(_square, args=(i,)) for i in range(8)]
+    plain = run_sharded(shards, workers=2)
+    keyed = run_sharded(shards, workers=2, cost_key=lambda s: s.args[0])
+    serial = run_sharded(shards, workers=1, cost_key=lambda s: s.args[0])
+    assert plain.results == keyed.results == serial.results
+    # reports stay keyed by submission index, not completion order
+    assert [r.index for r in keyed.reports] == list(range(8))
 
 
 # -- the determinism contract on real sweeps ---------------------------------

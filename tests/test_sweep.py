@@ -67,6 +67,34 @@ def test_saturation_fraction():
         saturation_fraction([])
 
 
+def test_saturation_threshold_default_is_pinned():
+    """The paper-methodology verdict: saturated iff delivered <
+    0.99 * injected after the bounded drain.  The 0.99 default is shared
+    by the fixed and adaptive paths and pinned here so a silent change
+    shows up as a test failure, not a drifted Figure 6 summary."""
+    import inspect
+
+    sig = inspect.signature(run_load_point)
+    assert sig.parameters["saturation_threshold"].default == 0.99
+
+
+def test_saturation_threshold_changes_verdict():
+    """A near-knee point flips verdict as the threshold crosses its
+    delivered/injected ratio — same simulation, different rule."""
+    pattern = UniformTraffic(CFG.layout)
+    base = run_load_point("circuit_switched", CFG, pattern, 0.5,
+                          window_ns=200)
+    assert base.saturated
+    ratio = base.delivered_packets / base.injected_packets
+    lenient = run_load_point("circuit_switched", CFG, pattern, 0.5,
+                             window_ns=200,
+                             saturation_threshold=ratio * 0.5)
+    assert not lenient.saturated
+    # the simulation itself is untouched by the verdict rule
+    assert lenient.delivered_packets == base.delivered_packets
+    assert lenient.events_dispatched == base.events_dispatched
+
+
 def test_deterministic_for_fixed_seed():
     a = run_load_point("point_to_point", CFG, UniformTraffic(CFG.layout),
                        0.05, window_ns=200, seed=99)
