@@ -69,6 +69,34 @@ def host_info() -> dict:
     }
 
 
+def latest_bench_path(results_dir: str = "results",
+                      exclude: str | None = None) -> str | None:
+    """The newest committed ``BENCH_PR<N>.json`` artifact (highest N).
+
+    Consumers that compare against "the previous PR's numbers" —
+    ``bench_sweep.py``'s drift table, the CI perf job — discover the
+    baseline here instead of hard-coding a filename that goes stale
+    every PR.  ``exclude`` skips one artifact (typically the one the
+    caller is about to regenerate).  Returns ``None`` when the directory
+    holds no artifacts.
+    """
+    import re
+
+    best_n, best_path = -1, None
+    try:
+        names = os.listdir(results_dir)
+    except OSError:
+        return None
+    for name in names:
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", name)
+        if not match or name == exclude:
+            continue
+        n = int(match.group(1))
+        if n > best_n:
+            best_n, best_path = n, os.path.join(results_dir, name)
+    return best_path
+
+
 def build_report(events: int, repeats: int, window_ns: float) -> dict:
     engine = bench_core.run_engine_benches(events=events, repeats=repeats)
     for name, bench in engine.items():

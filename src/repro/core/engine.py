@@ -140,6 +140,25 @@ class Simulator:
         """Stop the run loop after the currently dispatching event returns."""
         self._stopped = True
 
+    def reset(self) -> None:
+        """Return to freshly-constructed state so the instance can be
+        reused for another run (the warm-start protocol).
+
+        Clears both queue tiers **in place** — ``_bulk`` must never be
+        rebound (the run loop holds a local alias) — and rewinds the
+        clock and sequence counter, so a reused simulator schedules and
+        dispatches exactly like a new one.  Must not be called from
+        inside a running dispatch loop.
+        """
+        if self._running:
+            raise SimulationError("cannot reset a running simulator")
+        self._now = 0
+        self._queue.clear()
+        self._bulk.clear()
+        self._seq = 0
+        self._stopped = False
+        self.trace = None
+
     def pending(self) -> int:
         """Number of events still queued."""
         return len(self._queue) + len(self._bulk)

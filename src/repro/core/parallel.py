@@ -16,6 +16,15 @@ that shards such grids across worker processes:
   the deterministic fallback) or on a ``multiprocessing`` pool, returning
   results in submission order together with per-shard telemetry
   (:class:`ShardReport`: wall-clock, events dispatched, worker pid).
+* :class:`WorkerPool` — a persistent pool of worker processes that lives
+  *across* ``run_sharded`` calls (pass it as ``pool=``), so a multi-call
+  driver (figure sweeps, campaigns, benchmarks) pays process spin-up
+  once instead of per call.
+* :class:`SimContext` / :func:`get_context` — the warm-start context
+  registry: one constructed ``(network, config)`` simulation instance
+  per process, keyed by config fingerprint and reset between uses, so an
+  entire sweep reuses one network instead of rebuilding channels and
+  derived tables per load point (see ``repro.core.sweep``, ``warm=``).
 
 Determinism contract
 --------------------
@@ -38,12 +47,16 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "available_cpus",
+    "clear_contexts",
     "derive_seed",
+    "get_context",
     "resolve_workers",
     "Shard",
     "ShardReport",
     "ShardedRun",
+    "SimContext",
     "run_sharded",
+    "WorkerPool",
 ]
 
 #: seeds are kept inside 63 bits so they stay exact in JSON and C longs
@@ -202,6 +215,86 @@ def _submission_order(shards: Sequence[Shard],
     return indices
 
 
+class SimContext:
+    """One reusable (network, config) simulation instance.
+
+    Owns a :class:`~repro.core.engine.Simulator` and the network built
+    on it.  :meth:`reset` rewinds both to freshly-constructed state; the
+    warm-start sweep path (``run_load_point(..., warm=True)``) calls it
+    before every reuse, so results are bit-identical to cold
+    construction (the contract ``tests/test_warmstart.py`` locks).
+    """
+
+    __slots__ = ("sim", "network", "network_name", "warmup_ps", "uses")
+
+    def __init__(self, network_name: str, config: Any, warmup_ps: int,
+                 network_kwargs: Optional[Dict[str, Any]] = None) -> None:
+        # deferred import: repro.core must stay importable without the
+        # network models (and this avoids a core <-> networks cycle at
+        # module-import time)
+        from ..core.engine import Simulator
+        from ..networks.factory import build_network
+
+        self.network_name = network_name
+        self.warmup_ps = warmup_ps
+        self.sim = Simulator()
+        self.network = build_network(network_name, config, self.sim,
+                                     warmup_ps=warmup_ps,
+                                     **(network_kwargs or {}))
+        #: how many runs this context has served (diagnostics/tests)
+        self.uses = 0
+
+    def reset(self) -> None:
+        """Rewind simulator and network to as-constructed state."""
+        self.sim.reset()
+        self.network.reset()
+
+
+#: per-process warm-start context registry, keyed by the full context
+#: fingerprint.  Workers forked *before* the parent populated it start
+#: empty and build their own; contexts are never shipped across
+#: processes (Simulator callbacks are not picklable, and need not be —
+#: the registry is looked up inside the shard body).
+_CONTEXTS: Dict[Any, SimContext] = {}
+
+
+def _context_key(network_name: str, config: Any, warmup_ps: int,
+                 network_kwargs: Optional[Dict[str, Any]]) -> Any:
+    """Hashable fingerprint of everything that shapes a built network.
+    The config dataclasses are frozen (hashable, value-compared), so
+    equal configs — however constructed — share a context."""
+    kwargs = tuple(sorted((network_kwargs or {}).items()))
+    return (network_name, config, warmup_ps, kwargs)
+
+
+def get_context(network_name: str, config: Any, warmup_ps: int,
+                network_kwargs: Optional[Dict[str, Any]] = None
+                ) -> SimContext:
+    """The process's warm context for this fingerprint, reset and ready.
+
+    First use constructs (fresh by definition); every later use resets
+    the cached instance, which the reset protocol guarantees is
+    indistinguishable from fresh construction.
+    """
+    key = _context_key(network_name, config, warmup_ps, network_kwargs)
+    ctx = _CONTEXTS.get(key)
+    if ctx is None:
+        ctx = SimContext(network_name, config, warmup_ps, network_kwargs)
+        _CONTEXTS[key] = ctx
+    else:
+        ctx.reset()
+    ctx.uses += 1
+    return ctx
+
+
+def clear_contexts() -> int:
+    """Drop every cached warm context (tests / memory pressure); returns
+    how many were dropped."""
+    n = len(_CONTEXTS)
+    _CONTEXTS.clear()
+    return n
+
+
 def _pick_context(start_method: Optional[str]):
     """Choose a multiprocessing context, preferring ``fork`` (cheap,
     inherits ``sys.path``) and falling back to the platform default."""
@@ -215,11 +308,67 @@ def _pick_context(start_method: Optional[str]):
     return multiprocessing.get_context()
 
 
+class WorkerPool:
+    """A persistent multiprocessing pool that outlives ``run_sharded``.
+
+    ``run_sharded`` normally creates and tears down a fresh pool per
+    call; drivers that issue many calls (a figure's per-pattern sweeps,
+    a campaign's trace build + replay grid, benchmark loops) pay that
+    spin-up each time.  A ``WorkerPool`` is created lazily on first use,
+    then passed to any number of ``run_sharded(..., pool=...)`` calls;
+    worker processes — and therefore their per-process warm-start
+    context registries (:func:`get_context`) and interned tables — stay
+    alive between calls.  Close it (or use it as a context manager) when
+    the run is over.
+
+    Falls back to serial exactly like ``run_sharded`` does when the
+    platform cannot provide a pool; ``workers=1`` never creates
+    processes at all.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
+        self.workers = resolve_workers(workers)
+        self._start_method = start_method
+        self._pool = None
+        self._failed = False
+        self.mode = "serial"
+
+    def acquire(self):
+        """The live multiprocessing pool, created on first use; None
+        when serial (workers=1 or pool creation failed)."""
+        if self._pool is None and not self._failed and self.workers > 1:
+            try:
+                context = _pick_context(self._start_method)
+                self._pool = context.Pool(processes=self.workers)
+                self.mode = context.get_start_method()
+            except (ImportError, OSError, ValueError):
+                self._failed = True
+                self.mode = "serial"
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the workers down; idempotent.  The pool object can be
+        reused afterwards (a new set of workers spawns on next use)."""
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def run_sharded(shards: Sequence[Shard],
                 workers: Optional[int] = 1,
                 progress: Optional[Callable[[str], None]] = None,
                 start_method: Optional[str] = None,
-                cost_key: Optional[Callable[[Shard], float]] = None
+                cost_key: Optional[Callable[[Shard], float]] = None,
+                pool: Optional[WorkerPool] = None
                 ) -> ShardedRun:
     """Execute every shard and return results in submission order.
 
@@ -235,8 +384,16 @@ def run_sharded(shards: Sequence[Shard],
     reassembled by original index, the returned lists are bit-identical
     with or without a cost key — ordering is purely a wall-clock
     optimization (see the determinism contract above).
+
+    ``pool`` (optional) is a :class:`WorkerPool` to run on instead of a
+    throwaway per-call pool; the pool's worker count takes precedence
+    over ``workers`` and the workers stay alive after the call (the
+    caller owns shutdown).  Results are bit-identical either way — a
+    persistent pool only changes where process spin-up cost is paid.
     """
     shards = list(shards)
+    if pool is not None:
+        workers = pool.workers
     n_workers = min(resolve_workers(workers), max(1, len(shards)))
     started = time.perf_counter()
     results: List[Any] = [None] * len(shards)
@@ -257,18 +414,25 @@ def run_sharded(shards: Sequence[Shard],
                         shards[index].label, elapsed))
 
     mode = "serial"
-    pool = None
+    mp_pool = None
+    owns_pool = False
     if n_workers > 1 and len(shards) > 1:
-        try:
-            context = _pick_context(start_method)
-            pool = context.Pool(processes=n_workers)
-            mode = context.get_start_method()
-        except (ImportError, OSError, ValueError):
-            pool = None
-            mode = "serial"
+        if pool is not None:
+            mp_pool = pool.acquire()
+            mode = pool.mode
+        else:
+            try:
+                context = _pick_context(start_method)
+                mp_pool = context.Pool(processes=n_workers)
+                mode = context.get_start_method()
+                owns_pool = True
+            except (ImportError, OSError, ValueError):
+                mp_pool = None
+                mode = "serial"
 
-    if pool is None:
+    if mp_pool is None:
         n_workers = 1
+        mode = "serial"
         for payload in enumerate(shards):
             _record(*_invoke(payload))
     else:
@@ -278,12 +442,13 @@ def run_sharded(shards: Sequence[Shard],
             # which is also why cost-sorted submission is safe
             payloads = [(i, shards[i])
                         for i in _submission_order(shards, cost_key)]
-            for index, result, elapsed, pid in pool.imap_unordered(
+            for index, result, elapsed, pid in mp_pool.imap_unordered(
                     _invoke, payloads):
                 _record(index, result, elapsed, pid)
         finally:
-            pool.close()
-            pool.join()
+            if owns_pool:
+                mp_pool.close()
+                mp_pool.join()
 
     return ShardedRun(
         results=results,

@@ -15,13 +15,16 @@ asymptote of the latency-load curve).
 
 from __future__ import annotations
 
+import itertools
+import math
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .adaptive import AdaptiveConfig, execute_adaptive
 from .engine import Simulator
-from .parallel import Shard, derive_seed, run_sharded
+from .parallel import (Shard, WorkerPool, derive_seed, get_context,
+                       run_sharded)
 from .tracing import TraceRecorder
 from .units import serialization_ps
 from ..macrochip.config import MacrochipConfig
@@ -56,6 +59,87 @@ class LoadPointResult:
     stopped_at_ps: int = 0
 
 
+class _DrawBank:
+    """Interned per-(seed, pattern, sites) injection draw streams.
+
+    A load point's injection schedule is built from two per-site RNG
+    streams: exponential inter-arrival gaps and destination draws.  The
+    destination stream depends only on ``(seed, site, pattern)`` — not
+    on the offered load — and the gap stream factors as
+    ``expovariate(lambd) == -log(1 - random()) / lambd`` in CPython, so
+    the *unit*-exponential part ``x = -log(1 - u)`` is load-independent
+    too.  The bank caches both per site and materializes a given load's
+    gaps as ``max(1, int(x / lambd))`` — floating-point identical to the
+    historical ``max(1, int(rng.expovariate(1.0 / mean_gap_ps)))`` draw,
+    because that is literally the same division on the same ``x``.
+
+    One bank therefore serves *every* load point of a sweep (and every
+    network — schedules are network-independent), with each site's
+    stream prefix growing monotonically, exactly as the legacy per-point
+    prefetch would have drawn it.
+    """
+
+    __slots__ = ("_gap_rngs", "_site_patterns", "_unit", "_dsts")
+
+    def __init__(self, pattern: TrafficPattern, seed: int,
+                 num_sites: int) -> None:
+        self._gap_rngs = [random.Random(derive_seed(seed, "gap", site))
+                          for site in range(num_sites)]
+        self._site_patterns = [pattern.split(derive_seed(seed, "dst", site))
+                               for site in range(num_sites)]
+        self._unit: List[List[float]] = [[] for _ in range(num_sites)]
+        self._dsts: List[List[int]] = [[] for _ in range(num_sites)]
+
+    def draws(self, mean_gap_ps: int, count: int
+              ) -> Tuple[List[List[int]], List[List[int]]]:
+        """(site_gaps, site_dsts) for one load point: per-site lists
+        with at least ``count`` entries each (destination lists may be
+        longer — injectors index, they never iterate)."""
+        lambd = 1.0 / mean_gap_ps
+        log = math.log
+        site_gaps: List[List[int]] = []
+        for site, unit in enumerate(self._unit):
+            need = count - len(unit)
+            if need > 0:
+                rand = self._gap_rngs[site].random
+                unit.extend(-log(1.0 - rand()) for _ in range(need))
+            dsts = self._dsts[site]
+            need = count - len(dsts)
+            if need > 0:
+                dsts.extend(self._site_patterns[site].destinations(site,
+                                                                   need))
+            gaps: List[int] = []
+            append = gaps.append
+            for x in unit[:count] if len(unit) != count else unit:
+                g = int(x / lambd)
+                append(g if g >= 1 else 1)
+            site_gaps.append(gaps)
+        return site_gaps, self._dsts
+
+
+#: per-process draw-bank registry.  Keyed by everything the draws depend
+#: on; pattern constructor seeds are irrelevant (split() replaces the
+#: RNG), so the class + layout identify the destination function.
+_DRAW_BANKS: Dict[Any, _DrawBank] = {}
+
+
+def _get_draw_bank(pattern: TrafficPattern, seed: int,
+                   num_sites: int) -> _DrawBank:
+    key = (seed, pattern.__class__, pattern.layout, num_sites)
+    bank = _DRAW_BANKS.get(key)
+    if bank is None:
+        bank = _DrawBank(pattern, seed, num_sites)
+        _DRAW_BANKS[key] = bank
+    return bank
+
+
+def clear_draw_banks() -> int:
+    """Drop every cached draw bank (tests / memory pressure)."""
+    n = len(_DRAW_BANKS)
+    _DRAW_BANKS.clear()
+    return n
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     offered_fraction: float
@@ -79,8 +163,8 @@ def run_load_point(network_name: str,
                    check_invariants: bool = False,
                    rng_block: int = 256,
                    saturation_threshold: float = 0.99,
-                   adaptive: Optional[AdaptiveConfig] = None
-                   ) -> LoadPointResult:
+                   adaptive: Optional[AdaptiveConfig] = None,
+                   warm: bool = False) -> LoadPointResult:
     """Simulate one point of a latency-vs-load curve.
 
     ``offered_fraction`` is per-site offered load as a fraction of the
@@ -123,10 +207,18 @@ def run_load_point(network_name: str,
     :attr:`LoadPointResult.stop_reason`.  ``adaptive=None`` (the
     default) keeps the exact legacy fixed-window run; a config with both
     stop rules disabled is bit-identical to it.
+
+    ``warm=True`` opts into warm-start execution: the (simulator,
+    network) pair comes from the per-process context registry
+    (:func:`repro.core.parallel.get_context`) — reset to as-constructed
+    state instead of rebuilt — and the injection draws come from an
+    interned :class:`_DrawBank` shared across load points.  Both reuse
+    layers are bit-identical to cold construction (the reset protocol
+    and the draw-stream factoring are each differentially tested), so
+    ``warm`` changes wall-clock only, never results.
     """
     if not 0.0 < offered_fraction:
         raise ValueError("offered load must be positive")
-    sim = Simulator()
     site_peak = config.site_bandwidth_gb_per_s  # 320 GB/s = bytes/ns
     rate_gb_per_s = offered_fraction * site_peak
     mean_gap_ps = serialization_ps(packet_bytes, rate_gb_per_s)
@@ -134,21 +226,24 @@ def run_load_point(network_name: str,
     packets_per_site = max(1, inject_window_ps // mean_gap_ps)
     warmup_ps = int(inject_window_ps * warmup_fraction)
 
-    net = build_network(network_name, config, sim, warmup_ps=warmup_ps,
-                        **(network_kwargs or {}))
+    if warm:
+        ctx = get_context(network_name, config, warmup_ps,
+                          network_kwargs=network_kwargs)
+        sim = ctx.sim
+        net = ctx.network
+    else:
+        sim = Simulator()
+        net = build_network(network_name, config, sim, warmup_ps=warmup_ps,
+                            **(network_kwargs or {}))
     if check_invariants and tracer is None:
         tracer = TraceRecorder()
     if tracer is not None:
         net.set_tracer(tracer)
     net.stats.throughput.window_end_ps = inject_window_ps
-    # Every site draws gaps and destinations from its own derived RNG
-    # streams, so site k's traffic depends only on (seed, k) — never on
-    # how the other sites' events happen to interleave.  This is what
-    # makes load points shard-stable under parallel decomposition.
-    gap_rngs = [random.Random(derive_seed(seed, "gap", site))
-                for site in range(config.num_sites)]
-    site_patterns = [pattern.split(derive_seed(seed, "dst", site))
-                     for site in range(config.num_sites)]
+    #: per-run packet ids: pids restart at 0 for every load point, so a
+    #: run's raw pids are a pure function of its arguments — independent
+    #: of process history (how many packets this worker made before)
+    pids = itertools.count()
 
     if rng_block > 0:
         # fast path: prefetch each site's gap and destination draws in
@@ -156,24 +251,41 @@ def run_load_point(network_name: str,
         # order the per-packet path consumes them, so the schedules (and
         # hence event counts, latencies, everything) are bit-identical;
         # the per-event work drops to two list indexes.
-        site_gaps: List[List[int]] = []
-        site_dsts: List[List[int]] = []
-        for site in range(config.num_sites):
-            rng = gap_rngs[site]
-            pat = site_patterns[site]
-            gaps: List[int] = []
-            dsts: List[int] = []
-            remaining = packets_per_site
-            while remaining > 0:
-                take = rng_block if remaining > rng_block else remaining
-                gaps.extend(exponential_gaps(rng, mean_gap_ps, take))
-                dsts.extend(pat.destinations(site, take))
-                remaining -= take
-            site_gaps.append(gaps)
-            site_dsts.append(dsts)
+        if warm:
+            # draw from the interned bank: same streams, but the unit
+            # exponentials and destinations persist across load points
+            site_gaps, site_dsts = _get_draw_bank(
+                pattern, seed, config.num_sites
+            ).draws(mean_gap_ps, packets_per_site)
+        else:
+            # Every site draws gaps and destinations from its own
+            # derived RNG streams, so site k's traffic depends only on
+            # (seed, k) — never on how the other sites' events happen to
+            # interleave.  This is what makes load points shard-stable
+            # under parallel decomposition.
+            gap_rngs = [random.Random(derive_seed(seed, "gap", site))
+                        for site in range(config.num_sites)]
+            site_patterns = [pattern.split(derive_seed(seed, "dst", site))
+                             for site in range(config.num_sites)]
+            site_gaps = []
+            site_dsts = []
+            for site in range(config.num_sites):
+                rng = gap_rngs[site]
+                pat = site_patterns[site]
+                gaps: List[int] = []
+                dsts: List[int] = []
+                remaining = packets_per_site
+                while remaining > 0:
+                    take = rng_block if remaining > rng_block else remaining
+                    gaps.extend(exponential_gaps(rng, mean_gap_ps, take))
+                    dsts.extend(pat.destinations(site, take))
+                    remaining -= take
+                site_gaps.append(gaps)
+                site_dsts.append(dsts)
 
         def injector(site: int, idx: int) -> None:
-            net.inject(Packet(site, site_dsts[site][idx], packet_bytes))
+            net.inject(Packet(site, site_dsts[site][idx], packet_bytes,
+                              pid=next(pids)))
             nxt = idx + 1
             if nxt < packets_per_site:
                 sim.schedule(site_gaps[site][nxt], injector, site, nxt)
@@ -183,9 +295,14 @@ def run_load_point(network_name: str,
     else:
         # legacy path: one RNG call per packet (kept for differential
         # tests pinning the batched path's equivalence)
+        gap_rngs = [random.Random(derive_seed(seed, "gap", site))
+                    for site in range(config.num_sites)]
+        site_patterns = [pattern.split(derive_seed(seed, "dst", site))
+                         for site in range(config.num_sites)]
+
         def injector(site: int, remaining: int) -> None:
             dst = site_patterns[site].destination(site)
-            net.inject(Packet(site, dst, packet_bytes))
+            net.inject(Packet(site, dst, packet_bytes, pid=next(pids)))
             if remaining > 1:
                 gap = max(1,
                           int(gap_rngs[site].expovariate(1.0 / mean_gap_ps)))
@@ -267,6 +384,8 @@ def sweep(network_name: str,
           window_ns: float = 2000.0,
           workers: int = 1,
           progress: Optional[Callable[[str], None]] = None,
+          warm: bool = True,
+          pool: Optional[WorkerPool] = None,
           **kwargs) -> List[SweepPoint]:
     """Run a list of load points and normalize throughput to total peak.
 
@@ -279,16 +398,25 @@ def sweep(network_name: str,
     expensive tail.  Extra keywords (``adaptive``, ``rng_block``,
     ``saturation_threshold``, ``check_invariants``, ...) pass through to
     every :func:`run_load_point`.
+
+    Sweeps warm-start by default (``warm=True``): every load point after
+    the first reuses the reset (simulator, network) context and the
+    interned draw bank instead of rebuilding them — bit-identical
+    results, less wall-clock.  ``warm=False`` forces cold construction
+    everywhere (the escape hatch exposed as ``--cold`` on the experiment
+    CLIs).  ``pool`` lends a persistent
+    :class:`~repro.core.parallel.WorkerPool` so consecutive sweeps reuse
+    worker processes (and their warm contexts) instead of re-spawning.
     """
     shards = [
         Shard(run_load_point,
               args=(network_name, config, pattern, f),
-              kwargs=dict(window_ns=window_ns, **kwargs),
+              kwargs=dict(window_ns=window_ns, warm=warm, **kwargs),
               label="%s/%s @%.3f" % (network_name, pattern.name, f))
         for f in fractions
     ]
     run = run_sharded(shards, workers=workers, progress=progress,
-                      cost_key=lambda s: s.args[3])
+                      cost_key=lambda s: s.args[3], pool=pool)
     return [to_sweep_point(r, config) for r in run.results]
 
 

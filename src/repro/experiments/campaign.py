@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from .evaluation import PRESETS, Preset, WORKLOAD_ORDER, build_traces
-from ..core.parallel import Shard, run_sharded
+from ..core.parallel import Shard, WorkerPool, run_sharded
 from ..cpu.trace import CoherenceTrace
 from ..cpu.trace_io import dump_trace, load_trace
 from ..macrochip.config import MacrochipConfig, scaled_config
@@ -98,7 +98,16 @@ def _replay_entry(trace: CoherenceTrace, network: str,
 
 
 class Campaign:
-    """A resumable, disk-backed benchmark campaign."""
+    """A resumable, disk-backed benchmark campaign.
+
+    Parallel campaigns keep one persistent
+    :class:`~repro.core.parallel.WorkerPool` for their whole lifetime:
+    the trace build and every replay grid run on the same worker
+    processes (warm-start — spin-up is paid once, and per-process caches
+    survive between stages).  Call :meth:`close` — or use the campaign
+    as a context manager — when done; serial campaigns (``workers=1``)
+    never create processes and need no cleanup.
+    """
 
     def __init__(self, directory: str,
                  preset_name: str = "quick",
@@ -112,11 +121,39 @@ class Campaign:
         self.preset = PRESETS[preset_name]
         self.config = config or scaled_config()
         self.workers = workers
+        self._pool: Optional[WorkerPool] = None
         self.traces_dir = os.path.join(directory, "traces")
         self.results_dir = os.path.join(directory, "results")
         os.makedirs(self.traces_dir, exist_ok=True)
         os.makedirs(self.results_dir, exist_ok=True)
         self._check_manifest(on_stale)
+
+    # -- worker pool ---------------------------------------------------------
+
+    def _get_pool(self, n_workers: int) -> Optional[WorkerPool]:
+        """The campaign's persistent pool, (re)built lazily.  A call
+        that overrides the worker count replaces the pool; serial calls
+        return None (run_sharded handles workers=1 in-process)."""
+        if n_workers <= 1:
+            return None
+        if self._pool is not None and self._pool.workers != n_workers:
+            self._pool.close()
+            self._pool = None
+        if self._pool is None:
+            self._pool = WorkerPool(n_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "Campaign":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- manifest ------------------------------------------------------------
 
@@ -185,10 +222,11 @@ class Campaign:
             else:
                 missing.append(workload)
         if missing:
+            n_workers = self.workers if workers is None else workers
             fresh = build_traces(
                 self.preset, self.config, progress,
-                workloads=missing,
-                workers=self.workers if workers is None else workers)
+                workloads=missing, workers=n_workers,
+                pool=self._get_pool(n_workers))
             for workload, trace in fresh.items():
                 dump_trace(trace, self._trace_path(workload))
                 cached[workload] = trace
@@ -238,7 +276,8 @@ class Campaign:
         # the pool idling on a one-shard tail (results are keyed by
         # index, so ordering never changes them)
         run = run_sharded(todo, workers=n_workers,
-                          cost_key=lambda s: s.args[0].total_ops)
+                          cost_key=lambda s: s.args[0].total_ops,
+                          pool=self._get_pool(n_workers))
         for entry in run.results:
             with open(self._result_path(entry.workload,
                                         entry.network), "w") as fh:

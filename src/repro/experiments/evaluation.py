@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ..core.parallel import Shard, run_sharded
+from ..core.parallel import Shard, WorkerPool, run_sharded
 from ..cpu.system import generate_trace
 from ..cpu.trace import CoherenceTrace
 from ..macrochip.config import MacrochipConfig, scaled_config
@@ -102,13 +102,18 @@ def build_traces(preset: Preset,
                  config: MacrochipConfig,
                  progress: Optional[Callable[[str], None]] = None,
                  workloads: Optional[List[str]] = None,
-                 workers: int = 1) -> Dict[str, CoherenceTrace]:
+                 workers: int = 1,
+                 pool: Optional[WorkerPool] = None
+                 ) -> Dict[str, CoherenceTrace]:
     """Generate coherence traces (CPU simulation runs once per workload;
     replays reuse the trace).
 
     ``workloads`` restricts generation to the named subset (the campaign
     cache uses this to rebuild only what is missing); ``workers`` shards
-    the independent per-workload simulations across processes.
+    the independent per-workload simulations across processes.  ``pool``
+    lends a persistent :class:`~repro.core.parallel.WorkerPool` so the
+    trace build shares worker processes with the replay stage that
+    follows it instead of spinning up its own.
     """
     shards: List[Shard] = []
     names: List[str] = []
@@ -129,7 +134,7 @@ def build_traces(preset: Preset,
             args=(name, pattern_key, mix_name,
                   preset.synthetic_ops_per_core, config),
             label="synthesize %s" % name))
-    run = run_sharded(shards, workers=workers, progress=progress)
+    run = run_sharded(shards, workers=workers, progress=progress, pool=pool)
     return dict(zip(names, run.results))
 
 
@@ -144,7 +149,9 @@ def run_suite(preset_name: str = "quick",
     With ``workers > 1`` both stages parallelize: trace generation shards
     per workload, and the replay grid shards per (workload, network)
     pair.  Every simulation is independently seeded by its arguments, so
-    the grid is identical to a serial run.
+    the grid is identical to a serial run.  Both stages share one
+    persistent :class:`~repro.core.parallel.WorkerPool`, so the replay
+    grid reuses the trace build's worker processes.
     """
     try:
         preset = PRESETS[preset_name]
@@ -153,16 +160,19 @@ def run_suite(preset_name: str = "quick",
                        % (preset_name, ", ".join(PRESETS))) from None
     cfg = config or scaled_config()
     nets = networks or list(FIGURE7_NETWORKS)
-    traces = build_traces(preset, cfg, progress,
-                          workloads=workloads, workers=workers)
-    suite = SuiteResult(preset=preset.name, config=cfg, traces=traces)
-    pairs = [(workload, net) for workload in traces for net in nets]
-    shards = [
-        Shard(replay, args=(traces[workload], net, cfg),
-              label="replay %s on %s" % (workload, net))
-        for workload, net in pairs
-    ]
-    run = run_sharded(shards, workers=workers, progress=progress)
+    with WorkerPool(workers) as shared_pool:
+        traces = build_traces(preset, cfg, progress,
+                              workloads=workloads, workers=workers,
+                              pool=shared_pool)
+        suite = SuiteResult(preset=preset.name, config=cfg, traces=traces)
+        pairs = [(workload, net) for workload in traces for net in nets]
+        shards = [
+            Shard(replay, args=(traces[workload], net, cfg),
+                  label="replay %s on %s" % (workload, net))
+            for workload, net in pairs
+        ]
+        run = run_sharded(shards, workers=workers, progress=progress,
+                          pool=shared_pool)
     if progress:
         progress(run.summary())
     for (workload, net), result in zip(pairs, run.results):

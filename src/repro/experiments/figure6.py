@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..analysis.tables import render_series, render_table
 from ..core.adaptive import AdaptiveConfig, KneeResult, refine_knee
-from ..core.parallel import Shard, run_sharded
+from ..core.parallel import Shard, WorkerPool, run_sharded
 from ..core.sweep import SweepPoint, run_load_point, to_sweep_point
 from ..macrochip.config import MacrochipConfig, scaled_config
 from ..networks.factory import FIGURE6_NETWORKS, NETWORK_CLASSES
@@ -77,7 +77,9 @@ def run_figure6(config: MacrochipConfig = None,
                 load_grids: Optional[Dict[str, List[float]]] = None,
                 progress=None,
                 workers: int = 1,
-                rng_block: int = 256) -> Figure6Result:
+                rng_block: int = 256,
+                warm: bool = True,
+                pool: Optional[WorkerPool] = None) -> Figure6Result:
     """Run the Figure 6 sweeps over the exact fixed load grids.
 
     ``window_ns`` controls fidelity (injection window per load point);
@@ -89,6 +91,15 @@ def run_figure6(config: MacrochipConfig = None,
     the pool never idles on a long tail.  ``rng_block`` passes through
     to every load point (0 = legacy one-draw-per-packet RNG path; any
     value is bit-identical, see :func:`repro.core.sweep.run_load_point`).
+
+    ``warm=True`` (the default) warm-starts every load point: each
+    worker process keeps one reset-reused (simulator, network) context
+    per network and shares the interned draw bank across the whole grid
+    — bit-identical results, less wall-clock.  ``warm=False`` is the
+    cold-construction escape hatch (``--cold`` on the CLI).  ``pool``
+    lends a persistent :class:`~repro.core.parallel.WorkerPool` so
+    multiple figure runs (or a campaign) reuse worker processes and
+    their warm contexts.
     """
     cfg = config or scaled_config()
     result = Figure6Result(window_ns=window_ns)
@@ -107,11 +118,12 @@ def run_figure6(config: MacrochipConfig = None,
                 shards.append(Shard(
                     run_load_point,
                     args=(net, cfg, pattern, fraction),
-                    kwargs=dict(window_ns=window_ns, rng_block=rng_block),
+                    kwargs=dict(window_ns=window_ns, rng_block=rng_block,
+                                warm=warm),
                     label="figure6 %s/%s @%.3f"
                           % (pattern_key, net, fraction)))
     run = run_sharded(shards, workers=workers, progress=progress,
-                      cost_key=lambda s: s.args[3])
+                      cost_key=lambda s: s.args[3], pool=pool)
     if progress:
         progress(run.summary())
     for (pattern_key, net), point in zip(keys, run.results):
@@ -136,12 +148,16 @@ def adaptive_coarse_grid(grid: List[float], stride: int = 2) -> List[float]:
 
 def _knee_shard(net: str, cfg: MacrochipConfig, pattern, coarse: List[float],
                 window_ns: float, bisections: int,
-                adaptive: AdaptiveConfig, rng_block: int) -> KneeResult:
+                adaptive: AdaptiveConfig, rng_block: int,
+                warm: bool = True) -> KneeResult:
     """Module-level (picklable) shard body: one (pattern, network) knee
-    refinement, run serially inside its worker."""
+    refinement, run serially inside its worker.  ``warm`` flows through
+    ``refine_knee``'s ``**kwargs`` into every probed load point — the
+    refinement loop is warm-start's best case (many same-network points
+    back to back in one process)."""
     return refine_knee(net, cfg, pattern, coarse, window_ns=window_ns,
                        bisections=bisections, adaptive=adaptive,
-                       rng_block=rng_block)
+                       rng_block=rng_block, warm=warm)
 
 
 def run_figure6_adaptive(config: MacrochipConfig = None,
@@ -154,7 +170,9 @@ def run_figure6_adaptive(config: MacrochipConfig = None,
                          adaptive: Optional[AdaptiveConfig] = None,
                          progress=None,
                          workers: int = 1,
-                         rng_block: int = 256) -> Figure6Result:
+                         rng_block: int = 256,
+                         warm: bool = True,
+                         pool: Optional[WorkerPool] = None) -> Figure6Result:
     """The adaptive counterpart of :func:`run_figure6`.
 
     Instead of walking the fixed grids, every (pattern, network) pair
@@ -191,10 +209,10 @@ def run_figure6_adaptive(config: MacrochipConfig = None,
             shards.append(Shard(
                 _knee_shard,
                 args=(net, cfg, pattern, coarse, window_ns, bisections,
-                      stop_rules, rng_block),
+                      stop_rules, rng_block, warm),
                 label="figure6-adaptive %s/%s" % (pattern_key, net)))
     run = run_sharded(shards, workers=workers, progress=progress,
-                      cost_key=lambda s: sum(s.args[3]))
+                      cost_key=lambda s: sum(s.args[3]), pool=pool)
     if progress:
         progress(run.summary())
     for (pattern_key, net), knee in zip(keys, run.results):
@@ -254,6 +272,7 @@ if __name__ == "__main__":  # pragma: no cover
 
     quick = "--quick" in sys.argv
     adaptive_mode = "--adaptive" in sys.argv
+    cold = "--cold" in sys.argv
     n_workers = 1
     for arg in sys.argv[1:]:
         if arg.startswith("--workers="):
@@ -261,7 +280,7 @@ if __name__ == "__main__":  # pragma: no cover
     driver = run_figure6_adaptive if adaptive_mode else run_figure6
     res = driver(window_ns=400.0 if quick else 1200.0,
                  progress=lambda m: print("..", m, file=sys.stderr),
-                 workers=n_workers)
+                 workers=n_workers, warm=not cold)
     print(figure6_text(res))
     print("\n%s mode: %d load points, %d simulator events"
           % (res.mode, res.load_points, res.total_events), file=sys.stderr)

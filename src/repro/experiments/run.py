@@ -22,7 +22,7 @@ from .evaluation import run_suite
 from .figure6 import figure6_text, run_figure6, run_figure6_adaptive
 from .figures7_10 import all_figures_text
 from .table_experiments import all_tables_text
-from ..core.parallel import resolve_workers
+from ..core.parallel import WorkerPool, resolve_workers
 
 
 def _progress(message: str) -> None:
@@ -32,7 +32,8 @@ def _progress(message: str) -> None:
 def generate(artifact: str, preset: str,
               window_ns: float, workers: int = 1,
               adaptive: bool = False,
-              rng_block: int = 256) -> Dict[str, str]:
+              rng_block: int = 256,
+              warm: bool = True) -> Dict[str, str]:
     """Produce {artifact_name: text} for the requested artifact set.
 
     ``adaptive=True`` switches the Figure 6 artifact to the knee-seeking
@@ -41,20 +42,26 @@ def generate(artifact: str, preset: str,
     ``rng_block`` is the per-site RNG prefetch block size for Figure 6
     load points (0 = legacy one-draw-per-packet path; any value is
     bit-identical, so differential runs are reproducible from the CLI).
+    ``warm=False`` (``--cold``) disables warm-start contexts for Figure 6
+    load points; results are bit-identical either way.  One persistent
+    worker pool serves every artifact of the invocation.
     """
     outputs: Dict[str, str] = {}
     if artifact in ("tables", "all"):
         outputs["tables"] = all_tables_text()
-    if artifact in ("figure6", "all"):
-        figure6_driver = run_figure6_adaptive if adaptive else run_figure6
-        result = figure6_driver(window_ns=window_ns, progress=_progress,
-                                workers=workers, rng_block=rng_block)
-        _progress("figure6 [%s]: %d load points, %d simulator events"
-                  % (result.mode, result.load_points, result.total_events))
-        outputs["figure6"] = figure6_text(result)
-    if artifact in ("figures", "all"):
-        suite = run_suite(preset, progress=_progress, workers=workers)
-        outputs["figures7_10"] = all_figures_text(suite)
+    with WorkerPool(workers) as shared_pool:
+        if artifact in ("figure6", "all"):
+            figure6_driver = run_figure6_adaptive if adaptive else run_figure6
+            result = figure6_driver(window_ns=window_ns, progress=_progress,
+                                    workers=workers, rng_block=rng_block,
+                                    warm=warm, pool=shared_pool)
+            _progress("figure6 [%s]: %d load points, %d simulator events"
+                      % (result.mode, result.load_points,
+                         result.total_events))
+            outputs["figure6"] = figure6_text(result)
+        if artifact in ("figures", "all"):
+            suite = run_suite(preset, progress=_progress, workers=workers)
+            outputs["figures7_10"] = all_figures_text(suite)
     if not outputs:
         raise SystemExit("unknown artifact %r (tables|figure6|figures|all)"
                          % artifact)
@@ -86,6 +93,10 @@ def main(argv=None) -> int:
                              "Figure 6 load points (0 = legacy "
                              "one-draw-per-packet path; results are "
                              "bit-identical for any value)")
+    parser.add_argument("--cold", action="store_true",
+                        help="disable warm-start contexts (rebuild every "
+                             "simulator/network per load point; results "
+                             "are bit-identical to the warm default)")
     args = parser.parse_args(argv)
 
     window = args.window_ns
@@ -97,7 +108,8 @@ def main(argv=None) -> int:
     if workers > 1:
         print(".. sharding across %d workers" % workers, file=sys.stderr)
     outputs = generate(args.artifact, args.preset, window, workers=workers,
-                       adaptive=args.adaptive, rng_block=args.rng_block)
+                       adaptive=args.adaptive, rng_block=args.rng_block,
+                       warm=not args.cold)
     for name, text in outputs.items():
         print()
         print("=" * 72)

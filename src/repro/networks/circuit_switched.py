@@ -34,6 +34,7 @@ from typing import Deque, Dict, List, Optional
 from .base import Channel, InterSiteNetwork, Packet
 from ..core import tracing
 from ..core.engine import Simulator
+from ..core.interning import intern_memo
 from ..core.units import propagation_ps
 from ..macrochip.config import MacrochipConfig
 
@@ -71,10 +72,25 @@ class CircuitSwitchedTorus(InterSiteNetwork):
         self._engine_queue: List[Deque[Packet]] = [deque() for _ in range(n)]
         self._rx_port_table: List[Optional[Channel]] = [None] * n
         # lazily filled per-pair tables: setup+ack round trip consulted
-        # once per circuit, data flight time once per transfer
-        self._setup_ack_table: List[int] = [-1] * (n * n)
-        self._flight_table: List[int] = [-1] * (n * n)
+        # once per circuit, data flight time once per transfer.  Both
+        # hold pure per-pair values (geometry + fixed per-hop costs), so
+        # the memos are interned — keyed by everything the values depend
+        # on — and fills accumulate across instances and load points.
+        self._setup_ack_table: List[int] = intern_memo(
+            ("cs-setup-ack", config.layout, self.control_hop_ps,
+             self.hop_prop_ps), lambda: [-1] * (n * n))
+        self._flight_table: List[int] = intern_memo(
+            ("cs-flight", config.layout), lambda: [-1] * (n * n))
         #: circuits established (setup count), for tests/diagnostics
+        self.circuits_established = 0
+
+    def _reset_state(self) -> None:
+        # refill the engine pools, drop queued packets, zero diagnostics
+        # (rx ports are channels — the base reset rewinds their
+        # timelines; the interned per-pair tables are pure and stay)
+        for s in range(self._num_sites):
+            self._engines_free[s] = self.engines_per_site
+            self._engine_queue[s].clear()
         self.circuits_established = 0
 
     # -- path geometry -----------------------------------------------------

@@ -20,8 +20,22 @@ from typing import Callable, List, Optional, Tuple
 
 from .base import Channel, InterSiteNetwork, Packet
 from ..core.engine import Simulator
+from ..core.interning import intern_table
 from ..macrochip.config import MacrochipConfig
 from ..photonics.power import router_energy_pj
+
+
+def _build_routing_tables(layout):
+    """(fwd_table, coords) for a layout — see the constructor comment."""
+    n = layout.num_sites
+    coords = [layout.coords(s) for s in range(n)]
+    fwd: List[Optional[Tuple[int, int]]] = [None] * (n * n)
+    for src, (rs, cs) in enumerate(coords):
+        for dst, (rd, cd) in enumerate(coords):
+            if src != dst and rs != rd and cs != cd:
+                fwd[src * n + dst] = (layout.site_at(rs, cd),
+                                      layout.site_at(rd, cs))
+    return fwd, coords
 
 
 class LimitedPointToPointNetwork(InterSiteNetwork):
@@ -54,21 +68,25 @@ class LimitedPointToPointNetwork(InterSiteNetwork):
         # precomputed per-pair routing tables (the per-packet hot path
         # does one flat index instead of four coords() calls):
         # _fwd_table[src*n+dst] is None for peers (direct channel) and the
-        # (a, b) forwarder-candidate pair otherwise
-        coords = [layout.coords(s) for s in range(n)]
-        fwd: List[Optional[Tuple[int, int]]] = [None] * (n * n)
-        for src, (rs, cs) in enumerate(coords):
-            for dst, (rd, cd) in enumerate(coords):
-                if src != dst and rs != rd and cs != cd:
-                    fwd[src * n + dst] = (layout.site_at(rs, cd),
-                                          layout.site_at(rd, cs))
-        self._fwd_table = fwd
-        self._coords = coords
+        # (a, b) forwarder-candidate pair otherwise.  The n^2 build is
+        # the costliest network construction in the package, and both
+        # tables are pure functions of the layout — interned, so sweeps
+        # and warm contexts build them once per layout per process (and
+        # forked workers inherit them copy-on-write).
+        self._fwd_table, self._coords = intern_table(
+            ("lp2p-routing", layout), lambda: _build_routing_tables(layout))
         self._channel_table: List[Optional[Channel]] = [None] * (n * n)
         # per-forwarder arrival callbacks, created once instead of one
         # closure per forwarded packet
         self._fwd_arrival: List[Optional[Callable[[Packet], None]]] = [None] * n
         #: forwarded packets (for Figure 9 style reporting and tests)
+        self.forwarded_packets = 0
+        self.direct_packets = 0
+
+    def _reset_state(self) -> None:
+        # channels are rewound by the base reset; the arrival callbacks
+        # and routing tables are pure and stay.  Only the diagnostic
+        # counters carry run state.
         self.forwarded_packets = 0
         self.direct_packets = 0
 

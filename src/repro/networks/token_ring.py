@@ -33,6 +33,7 @@ from typing import Deque, Dict, List, Optional
 from .base import InterSiteNetwork, Packet
 from ..core import tracing
 from ..core.engine import Simulator
+from ..core.interning import intern_memo, intern_table
 from ..core.units import propagation_ps, serialization_ps
 from ..macrochip.config import MacrochipConfig
 
@@ -81,12 +82,29 @@ class TokenRingCrossbar(InterSiteNetwork):
         #: token absorb/re-inject cost per grant
         self.grant_overhead_ps = grant_overhead_ps
         self._token_table: List[Optional[_TokenState]] = [None] * n
-        self._snake_pos = [layout.snake_position(s) for s in range(n)]
-        self._snake_site = [layout.snake_site(p) for p in range(n)]
-        #: per-size cached bundle serialization times
-        self._tx_cache: Dict[int, int] = {}
-        #: lazily filled src*n+dst propagation table (consulted per grant)
-        self._prop_table: List[int] = [-1] * (n * n)
+        # snake-ring geometry: pure functions of the layout, interned so
+        # sweeps and warm contexts share one copy per layout
+        self._snake_pos, self._snake_site = intern_table(
+            ("snake-geometry", layout),
+            lambda: ([layout.snake_position(s) for s in range(n)],
+                     [layout.snake_site(p) for p in range(n)]))
+        #: per-size cached bundle serialization times (pure memo on the
+        #: bundle rate, shared across instances)
+        self._tx_cache: Dict[int, int] = intern_memo(
+            ("ring-tx", self.bundle_gb_per_s), dict)
+        #: lazily filled src*n+dst propagation table (consulted per
+        #: grant); pure per-pair values, so the memo is interned per
+        #: layout and fills accumulate across instances
+        self._prop_table: List[int] = intern_memo(
+            ("pair-propagation", layout), lambda: [-1] * (n * n))
+
+    def _reset_state(self) -> None:
+        # a token nobody has requested yet is indistinguishable from a
+        # fresh one (position 0 at time 0, circulating), so dropping the
+        # lazily-created states restores as-constructed behavior exactly
+        table = self._token_table
+        for i in range(len(table)):
+            table[i] = None
 
     # -- token geometry ----------------------------------------------------
 

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional
 from .base import Channel, InterSiteNetwork, Packet
 from ..core import tracing
 from ..core.engine import Simulator
+from ..core.interning import intern_memo, intern_table
 from ..core.units import propagation_ps, serialization_ps
 from ..macrochip.config import MacrochipConfig
 
@@ -82,18 +83,33 @@ class TwoPhaseArbitratedNetwork(InterSiteNetwork):
         n = layout.num_sites
         self._num_sites = n
         # precomputed coordinate tables: row of a source, column of a
-        # destination (the only geometry the protocol consults per packet)
-        self._row_of = [layout.coords(s)[0] for s in range(n)]
-        self._col_of = [layout.coords(s)[1] for s in range(n)]
+        # destination (the only geometry the protocol consults per
+        # packet) — pure functions of the layout, interned per layout
+        self._row_of, self._col_of = intern_table(
+            ("2ph-rowcol", layout),
+            lambda: ([layout.coords(s)[0] for s in range(n)],
+                     [layout.coords(s)[1] for s in range(n)]))
         # shared channel per (row, destination), flat row*n+dst table
         self._channel_table: List[Optional[Channel]] = [None] * (layout.rows * n)
         # per (site, column): [busy_until, configured_destination] per
         # tree, flat site*cols+col table
         self._tree_table: List[Optional[List[List[int]]]] = \
             [None] * (n * layout.cols)
-        #: per-size cached data-slot durations
-        self._slot_cache: Dict[int, int] = {}
+        #: per-size cached data-slot durations — a pure memo on channel
+        #: bandwidth, shared across instances of the same rate
+        self._slot_cache: Dict[int, int] = intern_memo(
+            ("2ph-slots", self.channel_gb_per_s), dict)
         #: wasted data slots (tree contention), for tests and diagnostics
+        self.wasted_slots = 0
+        self.granted_slots = 0
+
+    def _reset_state(self) -> None:
+        # drop lazily-created switch-tree state back to untouched (a
+        # fresh entry starts "idle since the distant past", which is
+        # exactly what lazy creation produces) and zero the diagnostics
+        table = self._tree_table
+        for i in range(len(table)):
+            table[i] = None
         self.wasted_slots = 0
         self.granted_slots = 0
 
