@@ -312,6 +312,10 @@ class KneeResult:
     events_dispatched: int = 0
     #: number of load points simulated
     load_points: int = 0
+    #: probes that failed under ``on_error='collect'``: tuples of
+    #: ``(offered_fraction, error_type, message)``, ascending load.
+    #: Empty on a clean refinement (and always under ``'raise'``)
+    failures: Tuple = ()
 
 
 def refine_knee(network_name: str,
@@ -322,6 +326,7 @@ def refine_knee(network_name: str,
                 bisections: int = 4,
                 adaptive: Optional[AdaptiveConfig] = AdaptiveConfig(),
                 progress: Optional[Callable[[str], None]] = None,
+                on_error: str = "raise",
                 **kwargs) -> KneeResult:
     """Locate the saturation knee with coarse probing plus bisection.
 
@@ -340,14 +345,39 @@ def refine_knee(network_name: str,
     parallelism lives one level up, across (pattern, network) pairs
     (see :func:`repro.experiments.figure6.run_figure6_adaptive`).
 
+    ``on_error='collect'`` makes the refinement fault-tolerant: a probe
+    that raises is recorded in :attr:`KneeResult.failures` and skipped —
+    the ascending walk moves to the next coarse load (the failed probe's
+    verdict is unknown, not assumed), and a failed bisection probe ends
+    the bisection at the bracket reached so far.  The refinement only
+    raises if *every* probe failed.  ``'raise'`` (the default) keeps the
+    historical propagate-first-error behavior.
+
     Extra ``kwargs`` (``seed``, ``rng_block``, ``saturation_threshold``,
     ...) pass through to every ``run_load_point`` call.
     """
     from .sweep import run_load_point, to_sweep_point
 
+    if on_error not in ("raise", "collect"):
+        raise ValueError("refine_knee on_error must be 'raise' or "
+                         "'collect', got %r" % (on_error,))
     fractions = sorted(set(float(f) for f in coarse_fractions))
     if not fractions:
         raise ValueError("refine_knee needs at least one coarse fraction")
+
+    failures = []
+
+    def probe(f):
+        """One guarded load-point probe: the result, or None when it
+        failed under 'collect' (failure recorded)."""
+        try:
+            return run_load_point(network_name, config, pattern, f,
+                                  **point_kwargs)
+        except Exception as exc:
+            if on_error == "raise":
+                raise
+            failures.append((f, type(exc).__name__, str(exc)))
+            return None
 
     point_kwargs = dict(window_ns=window_ns, adaptive=adaptive, **kwargs)
     results = []
@@ -357,12 +387,20 @@ def refine_knee(network_name: str,
         if progress:
             progress("knee %s/%s probe @%.4f"
                      % (network_name, pattern.name, f))
-        r = run_load_point(network_name, config, pattern, f, **point_kwargs)
+        r = probe(f)
+        if r is None:
+            continue
         results.append(r)
         events += r.events_dispatched
         if r.saturated:
             skipped = tuple(fractions[i + 1:])
             break
+
+    if not results:
+        raise RuntimeError(
+            "every knee probe failed for %s/%s: %s"
+            % (network_name, pattern.name,
+               "; ".join("@%.4f %s: %s" % f for f in failures)))
 
     def bracket(rs):
         unsat = [r.offered_fraction for r in rs if not r.saturated]
@@ -379,8 +417,11 @@ def refine_knee(network_name: str,
             if progress:
                 progress("knee %s/%s bisect @%.4f"
                          % (network_name, pattern.name, mid))
-            r = run_load_point(network_name, config, pattern, mid,
-                               **point_kwargs)
+            r = probe(mid)
+            if r is None:
+                # the midpoint's verdict is unknown, so the bracket
+                # cannot shrink: keep the resolution reached so far
+                break
             results.append(r)
             events += r.events_dispatched
             if r.saturated:
@@ -406,4 +447,5 @@ def refine_knee(network_name: str,
         skipped_loads=skipped,
         events_dispatched=events,
         load_points=len(results),
+        failures=tuple(failures),
     )

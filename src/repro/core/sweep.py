@@ -21,10 +21,12 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from collections import OrderedDict
+
 from .adaptive import AdaptiveConfig, execute_adaptive
 from .engine import Simulator
-from .parallel import (Shard, WorkerPool, derive_seed, get_context,
-                       run_sharded)
+from .parallel import (Shard, ShardError, WorkerPool, derive_seed,
+                       get_context, run_sharded)
 from .tracing import TraceRecorder
 from .units import serialization_ps
 from ..macrochip.config import MacrochipConfig
@@ -119,8 +121,39 @@ class _DrawBank:
 
 #: per-process draw-bank registry.  Keyed by everything the draws depend
 #: on; pattern constructor seeds are irrelevant (split() replaces the
-#: RNG), so the class + layout identify the destination function.
-_DRAW_BANKS: Dict[Any, _DrawBank] = {}
+#: RNG), so the class + layout identify the destination function.  The
+#: registry is LRU-bounded: banks grow with the deepest load point they
+#: served, so a long-lived worker cycling through many (seed, pattern)
+#: combinations must not keep them all.
+_DRAW_BANKS: "OrderedDict[Any, _DrawBank]" = OrderedDict()
+
+#: default cap on cached draw banks per process: one bank serves every
+#: network and every load point of a sweep, so even a multi-pattern
+#: figure needs only a handful live at once
+DEFAULT_DRAW_BANK_CACHE_LIMIT = 8
+_draw_bank_cache_limit = DEFAULT_DRAW_BANK_CACHE_LIMIT
+
+
+def draw_bank_cache_limit() -> int:
+    """Current LRU cap on the per-process draw-bank registry."""
+    return _draw_bank_cache_limit
+
+
+def set_draw_bank_cache_limit(limit: int) -> int:
+    """Set the draw-bank LRU cap (>= 1); evicts least-recently-used
+    banks immediately if over the new cap.  Returns the previous limit.
+    Eviction never affects results — a rebuilt bank replays the same
+    derived streams — only whether the next sweep pays the draws again."""
+    global _draw_bank_cache_limit
+    limit = int(limit)
+    if limit < 1:
+        raise ValueError("draw-bank cache limit must be >= 1, got %r"
+                         % (limit,))
+    previous = _draw_bank_cache_limit
+    _draw_bank_cache_limit = limit
+    while len(_DRAW_BANKS) > _draw_bank_cache_limit:
+        _DRAW_BANKS.popitem(last=False)
+    return previous
 
 
 def _get_draw_bank(pattern: TrafficPattern, seed: int,
@@ -130,6 +163,10 @@ def _get_draw_bank(pattern: TrafficPattern, seed: int,
     if bank is None:
         bank = _DrawBank(pattern, seed, num_sites)
         _DRAW_BANKS[key] = bank
+        while len(_DRAW_BANKS) > _draw_bank_cache_limit:
+            _DRAW_BANKS.popitem(last=False)
+    else:
+        _DRAW_BANKS.move_to_end(key)
     return bank
 
 
@@ -386,6 +423,9 @@ def sweep(network_name: str,
           progress: Optional[Callable[[str], None]] = None,
           warm: bool = True,
           pool: Optional[WorkerPool] = None,
+          on_error: str = "raise",
+          max_retries: int = 2,
+          timeout_s: Optional[float] = None,
           **kwargs) -> List[SweepPoint]:
     """Run a list of load points and normalize throughput to total peak.
 
@@ -407,6 +447,14 @@ def sweep(network_name: str,
     CLIs).  ``pool`` lends a persistent
     :class:`~repro.core.parallel.WorkerPool` so consecutive sweeps reuse
     worker processes (and their warm contexts) instead of re-spawning.
+
+    ``on_error`` / ``max_retries`` / ``timeout_s`` are the per-shard
+    fault policy (see :class:`~repro.core.parallel.ErrorPolicy`).  Under
+    ``'collect'``/``'retry'`` a load point that ultimately fails is
+    *dropped from the returned curve* — the surviving points keep their
+    order — rather than aborting the sweep; callers that need the
+    structured :class:`~repro.core.parallel.ShardError` records should
+    drive :func:`run_sharded` directly (as the figure drivers do).
     """
     shards = [
         Shard(run_load_point,
@@ -416,8 +464,11 @@ def sweep(network_name: str,
         for f in fractions
     ]
     run = run_sharded(shards, workers=workers, progress=progress,
-                      cost_key=lambda s: s.args[3], pool=pool)
-    return [to_sweep_point(r, config) for r in run.results]
+                      cost_key=lambda s: s.args[3], pool=pool,
+                      on_error=on_error, max_retries=max_retries,
+                      timeout_s=timeout_s)
+    return [to_sweep_point(r, config) for r in run.results
+            if not isinstance(r, ShardError)]
 
 
 def saturation_fraction(points: List[SweepPoint]) -> float:

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from .evaluation import PRESETS, Preset, WORKLOAD_ORDER, build_traces
-from ..core.parallel import Shard, WorkerPool, run_sharded
+from ..core.parallel import Shard, ShardError, WorkerPool, run_sharded
 from ..cpu.trace import CoherenceTrace
 from ..cpu.trace_io import dump_trace, load_trace
 from ..macrochip.config import MacrochipConfig, scaled_config
@@ -107,13 +107,24 @@ class Campaign:
     survive between stages).  Call :meth:`close` — or use the campaign
     as a context manager — when done; serial campaigns (``workers=1``)
     never create processes and need no cleanup.
+
+    ``on_error`` / ``max_retries`` / ``timeout_s`` form the campaign's
+    per-shard fault policy (:class:`~repro.core.parallel.ErrorPolicy`).
+    Under ``'collect'``/``'retry'`` a failed trace build or replay is
+    recorded in :attr:`last_failures` and *not cached*: the grid cell
+    stays missing on disk, so the next :meth:`run` of the same campaign
+    naturally retries exactly the failed work — resumability doubles as
+    failure recovery.
     """
 
     def __init__(self, directory: str,
                  preset_name: str = "quick",
                  config: MacrochipConfig = None,
                  workers: int = 1,
-                 on_stale: str = "error") -> None:
+                 on_stale: str = "error",
+                 on_error: str = "raise",
+                 max_retries: int = 2,
+                 timeout_s: Optional[float] = None) -> None:
         if on_stale not in ("error", "rebuild"):
             raise ValueError("on_stale must be 'error' or 'rebuild', got %r"
                              % on_stale)
@@ -121,6 +132,11 @@ class Campaign:
         self.preset = PRESETS[preset_name]
         self.config = config or scaled_config()
         self.workers = workers
+        self.on_error = on_error
+        self.max_retries = max_retries
+        self.timeout_s = timeout_s
+        #: ShardErrors from the most recent ensure_traces()/run() call
+        self.last_failures: List[ShardError] = []
         self._pool: Optional[WorkerPool] = None
         self.traces_dir = os.path.join(directory, "traces")
         self.results_dir = os.path.join(directory, "results")
@@ -215,6 +231,7 @@ class Campaign:
         rebuilt from scratch)."""
         cached: Dict[str, CoherenceTrace] = {}
         missing: List[str] = []
+        self.last_failures = []
         for workload in WORKLOAD_ORDER:
             path = self._trace_path(workload)
             if os.path.exists(path):
@@ -226,7 +243,9 @@ class Campaign:
             fresh = build_traces(
                 self.preset, self.config, progress,
                 workloads=missing, workers=n_workers,
-                pool=self._get_pool(n_workers))
+                pool=self._get_pool(n_workers),
+                on_error=self.on_error, max_retries=self.max_retries,
+                timeout_s=self.timeout_s, failures=self.last_failures)
             for workload, trace in fresh.items():
                 dump_trace(trace, self._trace_path(workload))
                 cached[workload] = trace
@@ -277,8 +296,16 @@ class Campaign:
         # index, so ordering never changes them)
         run = run_sharded(todo, workers=n_workers,
                           cost_key=lambda s: s.args[0].total_ops,
-                          pool=self._get_pool(n_workers))
+                          pool=self._get_pool(n_workers),
+                          on_error=self.on_error,
+                          max_retries=self.max_retries,
+                          timeout_s=self.timeout_s)
         for entry in run.results:
+            if isinstance(entry, ShardError):
+                # never cache a failure: the pair stays missing on disk,
+                # so the next run() of this campaign retries it
+                self.last_failures.append(entry)
+                continue
             with open(self._result_path(entry.workload,
                                         entry.network), "w") as fh:
                 json.dump(entry.__dict__, fh)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ..core.parallel import Shard, WorkerPool, run_sharded
+from ..core.parallel import Shard, ShardError, WorkerPool, run_sharded
 from ..cpu.system import generate_trace
 from ..cpu.trace import CoherenceTrace
 from ..macrochip.config import MacrochipConfig, scaled_config
@@ -68,6 +68,9 @@ class SuiteResult:
     #: results[workload_name][network_key]
     results: Dict[str, Dict[str, ReplayResult]] = field(default_factory=dict)
     traces: Dict[str, CoherenceTrace] = field(default_factory=dict)
+    #: trace builds or replays that failed under a collecting error
+    #: policy (their grid cells are simply absent); empty on clean runs
+    failures: List[ShardError] = field(default_factory=list)
 
     def workloads(self) -> List[str]:
         return [w for w in WORKLOAD_ORDER if w in self.results]
@@ -103,7 +106,11 @@ def build_traces(preset: Preset,
                  progress: Optional[Callable[[str], None]] = None,
                  workloads: Optional[List[str]] = None,
                  workers: int = 1,
-                 pool: Optional[WorkerPool] = None
+                 pool: Optional[WorkerPool] = None,
+                 on_error: str = "raise",
+                 max_retries: int = 2,
+                 timeout_s: Optional[float] = None,
+                 failures: Optional[List[ShardError]] = None
                  ) -> Dict[str, CoherenceTrace]:
     """Generate coherence traces (CPU simulation runs once per workload;
     replays reuse the trace).
@@ -114,6 +121,11 @@ def build_traces(preset: Preset,
     lends a persistent :class:`~repro.core.parallel.WorkerPool` so the
     trace build shares worker processes with the replay stage that
     follows it instead of spinning up its own.
+
+    Under a collecting ``on_error`` policy a workload whose build failed
+    is simply absent from the returned dict; its
+    :class:`~repro.core.parallel.ShardError` is appended to ``failures``
+    when the caller passes a list to accumulate into.
     """
     shards: List[Shard] = []
     names: List[str] = []
@@ -134,8 +146,17 @@ def build_traces(preset: Preset,
             args=(name, pattern_key, mix_name,
                   preset.synthetic_ops_per_core, config),
             label="synthesize %s" % name))
-    run = run_sharded(shards, workers=workers, progress=progress, pool=pool)
-    return dict(zip(names, run.results))
+    run = run_sharded(shards, workers=workers, progress=progress, pool=pool,
+                      on_error=on_error, max_retries=max_retries,
+                      timeout_s=timeout_s)
+    traces: Dict[str, CoherenceTrace] = {}
+    for name, result in zip(names, run.results):
+        if isinstance(result, ShardError):
+            if failures is not None:
+                failures.append(result)
+            continue
+        traces[name] = result
+    return traces
 
 
 def run_suite(preset_name: str = "quick",
@@ -143,7 +164,10 @@ def run_suite(preset_name: str = "quick",
               networks: Optional[List[str]] = None,
               workloads: Optional[List[str]] = None,
               progress: Optional[Callable[[str], None]] = None,
-              workers: int = 1) -> SuiteResult:
+              workers: int = 1,
+              on_error: str = "raise",
+              max_retries: int = 2,
+              timeout_s: Optional[float] = None) -> SuiteResult:
     """Run the full (or filtered) benchmark suite.
 
     With ``workers > 1`` both stages parallelize: trace generation shards
@@ -152,6 +176,12 @@ def run_suite(preset_name: str = "quick",
     the grid is identical to a serial run.  Both stages share one
     persistent :class:`~repro.core.parallel.WorkerPool`, so the replay
     grid reuses the trace build's worker processes.
+
+    ``on_error`` / ``max_retries`` / ``timeout_s`` are the per-shard
+    fault policy for both stages: under ``'collect'``/``'retry'`` a
+    failed trace build drops that workload's whole row, a failed replay
+    drops one grid cell, and every failure is recorded in
+    :attr:`SuiteResult.failures` instead of aborting the suite.
     """
     try:
         preset = PRESETS[preset_name]
@@ -160,11 +190,15 @@ def run_suite(preset_name: str = "quick",
                        % (preset_name, ", ".join(PRESETS))) from None
     cfg = config or scaled_config()
     nets = networks or list(FIGURE7_NETWORKS)
+    collected: List[ShardError] = []
     with WorkerPool(workers) as shared_pool:
         traces = build_traces(preset, cfg, progress,
                               workloads=workloads, workers=workers,
-                              pool=shared_pool)
-        suite = SuiteResult(preset=preset.name, config=cfg, traces=traces)
+                              pool=shared_pool, on_error=on_error,
+                              max_retries=max_retries, timeout_s=timeout_s,
+                              failures=collected)
+        suite = SuiteResult(preset=preset.name, config=cfg, traces=traces,
+                            failures=collected)
         pairs = [(workload, net) for workload in traces for net in nets]
         shards = [
             Shard(replay, args=(traces[workload], net, cfg),
@@ -172,9 +206,13 @@ def run_suite(preset_name: str = "quick",
             for workload, net in pairs
         ]
         run = run_sharded(shards, workers=workers, progress=progress,
-                          pool=shared_pool)
+                          pool=shared_pool, on_error=on_error,
+                          max_retries=max_retries, timeout_s=timeout_s)
     if progress:
         progress(run.summary())
     for (workload, net), result in zip(pairs, run.results):
+        if isinstance(result, ShardError):
+            collected.append(result)
+            continue
         suite.results.setdefault(workload, {})[net] = result
     return suite

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..analysis.tables import render_series, render_table
 from ..core.adaptive import AdaptiveConfig, KneeResult, refine_knee
-from ..core.parallel import Shard, WorkerPool, run_sharded
+from ..core.parallel import Shard, ShardError, WorkerPool, run_sharded
 from ..core.sweep import SweepPoint, run_load_point, to_sweep_point
 from ..macrochip.config import MacrochipConfig, scaled_config
 from ..networks.factory import FIGURE6_NETWORKS, NETWORK_CLASSES
@@ -51,17 +51,24 @@ class Figure6Result:
     load_points: int = 0
     #: knees[pattern][network] -> KneeResult (adaptive mode only)
     knees: Dict[str, Dict[str, KneeResult]] = field(default_factory=dict)
+    #: load points (or knee refinements) that failed under
+    #: ``on_error='collect'``/``'retry'``; empty on a clean run
+    failures: List[ShardError] = field(default_factory=list)
 
     def saturation_table(self) -> List[Tuple[str, str, float]]:
         """(pattern, network, knee fraction-of-peak) rows.
 
         The knee is the highest delivered fraction among *unsaturated*
         load points (delivered tracks injected), falling back to the
-        best delivered fraction if every point saturated.
+        best delivered fraction if every point saturated.  A curve with
+        no surviving points (every load point failed under a collecting
+        error policy) is omitted rather than crashing the summary.
         """
         rows = []
         for pattern, by_net in self.curves.items():
             for net, points in by_net.items():
+                if not points:
+                    continue
                 good = [p.delivered_fraction for p in points
                         if not p.saturated]
                 best = max(good) if good else max(
@@ -79,7 +86,10 @@ def run_figure6(config: MacrochipConfig = None,
                 workers: int = 1,
                 rng_block: int = 256,
                 warm: bool = True,
-                pool: Optional[WorkerPool] = None) -> Figure6Result:
+                pool: Optional[WorkerPool] = None,
+                on_error: str = "raise",
+                max_retries: int = 2,
+                timeout_s: Optional[float] = None) -> Figure6Result:
     """Run the Figure 6 sweeps over the exact fixed load grids.
 
     ``window_ns`` controls fidelity (injection window per load point);
@@ -100,6 +110,12 @@ def run_figure6(config: MacrochipConfig = None,
     lends a persistent :class:`~repro.core.parallel.WorkerPool` so
     multiple figure runs (or a campaign) reuse worker processes and
     their warm contexts.
+
+    ``on_error`` / ``max_retries`` / ``timeout_s`` form the per-shard
+    fault policy (:class:`~repro.core.parallel.ErrorPolicy`): under
+    ``'collect'``/``'retry'`` a failing load point is dropped from its
+    curve and recorded in :attr:`Figure6Result.failures` instead of
+    aborting the whole figure.
     """
     cfg = config or scaled_config()
     result = Figure6Result(window_ns=window_ns)
@@ -123,10 +139,15 @@ def run_figure6(config: MacrochipConfig = None,
                     label="figure6 %s/%s @%.3f"
                           % (pattern_key, net, fraction)))
     run = run_sharded(shards, workers=workers, progress=progress,
-                      cost_key=lambda s: s.args[3], pool=pool)
+                      cost_key=lambda s: s.args[3], pool=pool,
+                      on_error=on_error, max_retries=max_retries,
+                      timeout_s=timeout_s)
     if progress:
         progress(run.summary())
     for (pattern_key, net), point in zip(keys, run.results):
+        if isinstance(point, ShardError):
+            result.failures.append(point)
+            continue
         result.curves[pattern_key][net].append(to_sweep_point(point, cfg))
     result.total_events = run.total_events
     result.load_points = len(shards)
@@ -149,15 +170,18 @@ def adaptive_coarse_grid(grid: List[float], stride: int = 2) -> List[float]:
 def _knee_shard(net: str, cfg: MacrochipConfig, pattern, coarse: List[float],
                 window_ns: float, bisections: int,
                 adaptive: AdaptiveConfig, rng_block: int,
-                warm: bool = True) -> KneeResult:
+                warm: bool = True, on_error: str = "raise") -> KneeResult:
     """Module-level (picklable) shard body: one (pattern, network) knee
     refinement, run serially inside its worker.  ``warm`` flows through
     ``refine_knee``'s ``**kwargs`` into every probed load point — the
     refinement loop is warm-start's best case (many same-network points
-    back to back in one process)."""
+    back to back in one process).  ``on_error='collect'`` makes the
+    refinement itself probe-fault-tolerant (see
+    :func:`~repro.core.adaptive.refine_knee`)."""
     return refine_knee(net, cfg, pattern, coarse, window_ns=window_ns,
                        bisections=bisections, adaptive=adaptive,
-                       rng_block=rng_block, warm=warm)
+                       rng_block=rng_block, warm=warm,
+                       on_error="collect" if on_error != "raise" else "raise")
 
 
 def run_figure6_adaptive(config: MacrochipConfig = None,
@@ -172,7 +196,11 @@ def run_figure6_adaptive(config: MacrochipConfig = None,
                          workers: int = 1,
                          rng_block: int = 256,
                          warm: bool = True,
-                         pool: Optional[WorkerPool] = None) -> Figure6Result:
+                         pool: Optional[WorkerPool] = None,
+                         on_error: str = "raise",
+                         max_retries: int = 2,
+                         timeout_s: Optional[float] = None
+                         ) -> Figure6Result:
     """The adaptive counterpart of :func:`run_figure6`.
 
     Instead of walking the fixed grids, every (pattern, network) pair
@@ -209,13 +237,19 @@ def run_figure6_adaptive(config: MacrochipConfig = None,
             shards.append(Shard(
                 _knee_shard,
                 args=(net, cfg, pattern, coarse, window_ns, bisections,
-                      stop_rules, rng_block, warm),
+                      stop_rules, rng_block, warm, on_error),
                 label="figure6-adaptive %s/%s" % (pattern_key, net)))
     run = run_sharded(shards, workers=workers, progress=progress,
-                      cost_key=lambda s: sum(s.args[3]), pool=pool)
+                      cost_key=lambda s: sum(s.args[3]), pool=pool,
+                      on_error=on_error, max_retries=max_retries,
+                      timeout_s=timeout_s)
     if progress:
         progress(run.summary())
     for (pattern_key, net), knee in zip(keys, run.results):
+        if isinstance(knee, ShardError):
+            result.failures.append(knee)
+            result.curves[pattern_key][net] = []
+            continue
         result.curves[pattern_key][net] = list(knee.points)
         result.knees[pattern_key][net] = knee
         result.total_events += knee.events_dispatched
@@ -264,6 +298,11 @@ def figure6_text(result: Figure6Result) -> str:
              "Points", "Events"],
             knee_rows,
             title="Adaptive knee refinement: offered-load brackets"))
+    if result.failures:
+        lines = ["%d load point(s) failed and were dropped from the "
+                 "curves above:" % len(result.failures)]
+        lines.extend("  " + str(err) for err in result.failures)
+        blocks.append("\n".join(lines))
     return "\n\n".join(blocks)
 
 

@@ -33,7 +33,10 @@ def generate(artifact: str, preset: str,
               window_ns: float, workers: int = 1,
               adaptive: bool = False,
               rng_block: int = 256,
-              warm: bool = True) -> Dict[str, str]:
+              warm: bool = True,
+              on_error: str = "raise",
+              max_retries: int = 2,
+              timeout_s: float = None) -> Dict[str, str]:
     """Produce {artifact_name: text} for the requested artifact set.
 
     ``adaptive=True`` switches the Figure 6 artifact to the knee-seeking
@@ -45,6 +48,11 @@ def generate(artifact: str, preset: str,
     ``warm=False`` (``--cold``) disables warm-start contexts for Figure 6
     load points; results are bit-identical either way.  One persistent
     worker pool serves every artifact of the invocation.
+
+    ``on_error``/``max_retries``/``timeout_s`` are the per-shard fault
+    policy threaded into every driver (``--on-error collect`` keeps a
+    long run alive past a crashing or hung shard; failures are reported
+    on stderr and the affected cells dropped from the artifacts).
     """
     outputs: Dict[str, str] = {}
     if artifact in ("tables", "all"):
@@ -54,13 +62,22 @@ def generate(artifact: str, preset: str,
             figure6_driver = run_figure6_adaptive if adaptive else run_figure6
             result = figure6_driver(window_ns=window_ns, progress=_progress,
                                     workers=workers, rng_block=rng_block,
-                                    warm=warm, pool=shared_pool)
+                                    warm=warm, pool=shared_pool,
+                                    on_error=on_error,
+                                    max_retries=max_retries,
+                                    timeout_s=timeout_s)
             _progress("figure6 [%s]: %d load points, %d simulator events"
                       % (result.mode, result.load_points,
                          result.total_events))
+            for err in result.failures:
+                _progress("figure6 FAILED shard: %s" % err)
             outputs["figure6"] = figure6_text(result)
         if artifact in ("figures", "all"):
-            suite = run_suite(preset, progress=_progress, workers=workers)
+            suite = run_suite(preset, progress=_progress, workers=workers,
+                              on_error=on_error, max_retries=max_retries,
+                              timeout_s=timeout_s)
+            for err in suite.failures:
+                _progress("figures7-10 FAILED shard: %s" % err)
             outputs["figures7_10"] = all_figures_text(suite)
     if not outputs:
         raise SystemExit("unknown artifact %r (tables|figure6|figures|all)"
@@ -97,6 +114,20 @@ def main(argv=None) -> int:
                         help="disable warm-start contexts (rebuild every "
                              "simulator/network per load point; results "
                              "are bit-identical to the warm default)")
+    parser.add_argument("--on-error", default="raise",
+                        choices=["raise", "collect", "retry"],
+                        help="per-shard failure policy: raise on first "
+                             "failure (default), collect structured "
+                             "ShardError records and keep going, or "
+                             "retry failed shards before collecting")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="extra executions per failing shard under "
+                             "--on-error retry (retries are "
+                             "bit-identical by the determinism contract)")
+    parser.add_argument("--timeout-s", type=float, default=None,
+                        help="per-shard wall-clock bound on pool runs: a "
+                             "hung shard is killed, recorded as a "
+                             "timeout ShardError, and the pool rebuilt")
     args = parser.parse_args(argv)
 
     window = args.window_ns
@@ -109,7 +140,9 @@ def main(argv=None) -> int:
         print(".. sharding across %d workers" % workers, file=sys.stderr)
     outputs = generate(args.artifact, args.preset, window, workers=workers,
                        adaptive=args.adaptive, rng_block=args.rng_block,
-                       warm=not args.cold)
+                       warm=not args.cold, on_error=args.on_error,
+                       max_retries=args.max_retries,
+                       timeout_s=args.timeout_s)
     for name, text in outputs.items():
         print()
         print("=" * 72)

@@ -72,10 +72,11 @@ def test_missing_trace_rebuilds_only_missing(campaign, monkeypatch):
     real_build = campaign_mod.build_traces
 
     def spy(preset, config, progress=None, workloads=None, workers=1,
-            pool=None):
+            pool=None, **kwargs):
         requested.append(workloads)
         return real_build(preset, config, progress,
-                          workloads=workloads, workers=workers, pool=pool)
+                          workloads=workloads, workers=workers, pool=pool,
+                          **kwargs)
 
     monkeypatch.setattr(campaign_mod, "build_traces", spy)
     traces = campaign.ensure_traces()

@@ -85,6 +85,7 @@ class TestRunCli:
             mode = "stub"
             load_points = 0
             total_events = 0
+            failures = ()
 
         def fake_fixed(**kwargs):
             calls["driver"] = "fixed"

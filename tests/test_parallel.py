@@ -221,6 +221,101 @@ def test_cost_key_never_changes_results():
     assert [r.index for r in keyed.reports] == list(range(8))
 
 
+# -- LRU-bounded per-process registries ---------------------------------------
+
+def test_context_cache_lru_cap():
+    from repro.core.parallel import (_CONTEXTS, clear_contexts,
+                                     context_cache_limit, get_context,
+                                     set_context_cache_limit)
+
+    clear_contexts()
+    previous = set_context_cache_limit(2)
+    try:
+        c100 = get_context("point_to_point", CFG, warmup_ps=100)
+        get_context("point_to_point", CFG, warmup_ps=200)
+        get_context("point_to_point", CFG, warmup_ps=100)  # touch: now MRU
+        get_context("point_to_point", CFG, warmup_ps=300)  # evicts 200
+        assert len(_CONTEXTS) == 2
+        assert context_cache_limit() == 2
+        # the touched context survived; the LRU one was evicted
+        assert get_context("point_to_point", CFG, warmup_ps=100) is c100
+        rebuilt = get_context("point_to_point", CFG, warmup_ps=200)
+        assert rebuilt.uses == 1  # fresh construction, not a cache hit
+        with pytest.raises(ValueError, match="limit"):
+            set_context_cache_limit(0)
+    finally:
+        set_context_cache_limit(previous)
+        clear_contexts()
+
+
+def test_lowering_context_cache_limit_evicts_immediately():
+    from repro.core.parallel import (_CONTEXTS, clear_contexts,
+                                     get_context, set_context_cache_limit)
+
+    clear_contexts()
+    previous = set_context_cache_limit(8)
+    try:
+        for warmup in (100, 200, 300):
+            get_context("point_to_point", CFG, warmup_ps=warmup)
+        set_context_cache_limit(1)
+        assert len(_CONTEXTS) == 1
+    finally:
+        set_context_cache_limit(previous)
+        clear_contexts()
+
+
+def test_draw_bank_cache_lru_cap():
+    from repro.core.sweep import (_DRAW_BANKS, _get_draw_bank,
+                                  clear_draw_banks, draw_bank_cache_limit,
+                                  set_draw_bank_cache_limit)
+
+    pattern = UniformTraffic(CFG.layout)
+    clear_draw_banks()
+    previous = set_draw_bank_cache_limit(2)
+    try:
+        bank1 = _get_draw_bank(pattern, 1, CFG.num_sites)
+        bank2 = _get_draw_bank(pattern, 2, CFG.num_sites)
+        _get_draw_bank(pattern, 1, CFG.num_sites)  # touch: seed 1 is MRU
+        _get_draw_bank(pattern, 3, CFG.num_sites)  # evicts seed 2
+        assert len(_DRAW_BANKS) == 2
+        assert draw_bank_cache_limit() == 2
+        assert _get_draw_bank(pattern, 1, CFG.num_sites) is bank1
+        assert _get_draw_bank(pattern, 2, CFG.num_sites) is not bank2
+        with pytest.raises(ValueError, match="limit"):
+            set_draw_bank_cache_limit(-1)
+    finally:
+        set_draw_bank_cache_limit(previous)
+        clear_draw_banks()
+
+
+def test_lru_eviction_never_changes_results():
+    """Warm results under a cap of 1 (maximum eviction churn across
+    alternating seeds) must equal cold construction exactly."""
+    from repro.core.parallel import (clear_contexts, set_context_cache_limit)
+    from repro.core.sweep import clear_draw_banks, set_draw_bank_cache_limit
+
+    pattern = UniformTraffic(CFG.layout)
+    clear_contexts()
+    clear_draw_banks()
+    prev_ctx = set_context_cache_limit(1)
+    prev_bank = set_draw_bank_cache_limit(1)
+    try:
+        cold = [run_load_point(net, CFG, pattern, 0.05, window_ns=100.0,
+                               seed=seed, warm=False)
+                for seed in (7, 11) for net in ("point_to_point",
+                                                "token_ring")]
+        warm = [run_load_point(net, CFG, pattern, 0.05, window_ns=100.0,
+                               seed=seed, warm=True)
+                for seed in (7, 11) for net in ("point_to_point",
+                                                "token_ring")]
+        assert warm == cold
+    finally:
+        set_context_cache_limit(prev_ctx)
+        set_draw_bank_cache_limit(prev_bank)
+        clear_contexts()
+        clear_draw_banks()
+
+
 # -- the determinism contract on real sweeps ---------------------------------
 
 def test_load_point_results_bit_identical_serial_vs_parallel():
