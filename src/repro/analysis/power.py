@@ -52,8 +52,10 @@ def electrical_static_w(count: ComponentCount, tech: Technology) -> float:
 
 def network_power(count: ComponentCount,
                   tech: Technology) -> NetworkPower:
-    est = LaserPowerEstimate(count.network, count.laser_feeds,
-                             count.extra_loss_db)
+    # the signaling eye penalty (0 dB for NRZ, ~4.8 dB for PAM4) is extra
+    # loss every laser feed must launch over, on top of the topology's own
+    extra_db = count.extra_loss_db + tech.signaling_penalty_db
+    est = LaserPowerEstimate(count.network, count.laser_feeds, extra_db)
     return NetworkPower(
         network=count.network,
         laser_power_w=est.laser_power_w,
@@ -103,6 +105,7 @@ _COUNT_BY_KEY = {
     "circuit_switched": complexity.circuit_switched_count,
     "two_phase": lambda cfg: complexity.two_phase_count(cfg, alt=False),
     "two_phase_alt": lambda cfg: complexity.two_phase_count(cfg, alt=True),
+    "hermes": complexity.hermes_count,
 }
 
 

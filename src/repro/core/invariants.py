@@ -25,8 +25,9 @@ Two ways to run them:
   ``run_load_point(check_invariants=True)`` uses);
 * **post-hoc** — :func:`check_trace` over any recorded event list.
 
-``python -m repro.core.invariants`` runs the CI smoke: all five Figure 6
-networks under several loads/patterns with every checker enabled.
+``python -m repro.core.invariants`` runs the CI smoke: the five Figure 6
+networks plus the HERMES extension under several loads/patterns with
+every checker enabled.
 """
 
 from __future__ import annotations
@@ -290,7 +291,8 @@ def run_smoke(networks: Optional[Sequence[str]] = None,
               seeds: Sequence[int] = (12345,),
               window_ns: float = 120.0,
               verbose: bool = True) -> int:
-    """Run invariant-checked load points over the Figure 6 networks.
+    """Run invariant-checked load points over the extended network set
+    (the five Figure 6 networks plus HERMES).
 
     Returns the number of load points checked; raises
     :class:`InvariantViolation` on the first breach.  This is the CI
@@ -298,11 +300,11 @@ def run_smoke(networks: Optional[Sequence[str]] = None,
     """
     from .sweep import run_load_point
     from ..macrochip.config import small_test_config
-    from ..networks.factory import FIGURE6_NETWORKS
+    from ..networks.factory import EXTENDED_NETWORKS
     from ..workloads.synthetic import make_pattern
 
     if networks is None:
-        networks = FIGURE6_NETWORKS
+        networks = EXTENDED_NETWORKS
     config = small_test_config(4, 4)
     checked = 0
     for network in networks:

@@ -36,7 +36,9 @@ def generate(artifact: str, preset: str,
               warm: bool = True,
               on_error: str = "raise",
               max_retries: int = 2,
-              timeout_s: float = None) -> Dict[str, str]:
+              timeout_s: float = None,
+              networks=None,
+              signaling: str = "nrz") -> Dict[str, str]:
     """Produce {artifact_name: text} for the requested artifact set.
 
     ``adaptive=True`` switches the Figure 6 artifact to the knee-seeking
@@ -53,14 +55,27 @@ def generate(artifact: str, preset: str,
     policy threaded into every driver (``--on-error collect`` keeps a
     long run alive past a crashing or hung shard; failures are reported
     on stderr and the affected cells dropped from the artifacts).
+
+    ``networks`` restricts the Figure 6 sweep to the named factory keys
+    (``--network hermes`` runs just the extension network); ``signaling``
+    selects the line coding of the technology point (``nrz``, the
+    bit-identical default, or ``pam4``) for every artifact.
     """
+    config = None
+    if signaling != "nrz":
+        from ..macrochip.config import scaled_config
+
+        base = scaled_config()
+        config = base.with_overrides(
+            tech=base.tech.with_overrides(signaling=signaling))
     outputs: Dict[str, str] = {}
     if artifact in ("tables", "all"):
-        outputs["tables"] = all_tables_text()
+        outputs["tables"] = all_tables_text(config)
     with WorkerPool(workers) as shared_pool:
         if artifact in ("figure6", "all"):
             figure6_driver = run_figure6_adaptive if adaptive else run_figure6
-            result = figure6_driver(window_ns=window_ns, progress=_progress,
+            result = figure6_driver(config=config, networks=networks,
+                                    window_ns=window_ns, progress=_progress,
                                     workers=workers, rng_block=rng_block,
                                     warm=warm, pool=shared_pool,
                                     on_error=on_error,
@@ -73,7 +88,8 @@ def generate(artifact: str, preset: str,
                 _progress("figure6 FAILED shard: %s" % err)
             outputs["figure6"] = figure6_text(result)
         if artifact in ("figures", "all"):
-            suite = run_suite(preset, progress=_progress, workers=workers,
+            suite = run_suite(preset, config=config, progress=_progress,
+                              workers=workers,
                               on_error=on_error, max_retries=max_retries,
                               timeout_s=timeout_s)
             for err in suite.failures:
@@ -128,21 +144,39 @@ def main(argv=None) -> int:
                         help="per-shard wall-clock bound on pool runs: a "
                              "hung shard is killed, recorded as a "
                              "timeout ShardError, and the pool rebuilt")
+    parser.add_argument("--network", action="append", default=None,
+                        metavar="KEY", dest="networks",
+                        help="restrict the Figure 6 sweep to this network "
+                             "factory key (repeatable; e.g. --network "
+                             "hermes); implies --artifact figure6 unless "
+                             "an artifact is named")
+    parser.add_argument("--signaling", default="nrz",
+                        choices=["nrz", "pam4"],
+                        help="line coding of the technology point: nrz "
+                             "(the paper's baseline; bit-identical "
+                             "default) or pam4 (2 bits/symbol: double "
+                             "rate per wavelength, higher detection "
+                             "energy, ~4.8 dB eye penalty)")
     args = parser.parse_args(argv)
 
     window = args.window_ns
     if window is None:
         window = {"smoke": 200.0, "quick": 500.0, "full": 1200.0}[args.preset]
 
+    artifact = args.artifact
+    if args.networks and artifact == "all":
+        artifact = "figure6"
+
     started = time.time()
     workers = resolve_workers(args.workers)
     if workers > 1:
         print(".. sharding across %d workers" % workers, file=sys.stderr)
-    outputs = generate(args.artifact, args.preset, window, workers=workers,
+    outputs = generate(artifact, args.preset, window, workers=workers,
                        adaptive=args.adaptive, rng_block=args.rng_block,
                        warm=not args.cold, on_error=args.on_error,
                        max_retries=args.max_retries,
-                       timeout_s=args.timeout_s)
+                       timeout_s=args.timeout_s,
+                       networks=args.networks, signaling=args.signaling)
     for name, text in outputs.items():
         print()
         print("=" * 72)

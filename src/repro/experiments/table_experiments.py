@@ -47,12 +47,39 @@ def table6_text(config: MacrochipConfig = None) -> str:
                         title="Table 6: Total Optical Component Counts")
 
 
+def signaling_comparison_text(config: MacrochipConfig = None) -> str:
+    """Extension table: the NRZ baseline against PAM4 multilevel
+    signaling at the same symbol rate — per-wavelength data rate, site
+    bandwidth, transceiver energy, eye penalty, and the total Table 5
+    laser power under each format."""
+    cfg = config or scaled_config()
+    rows = []
+    for fmt in ("nrz", "pam4"):
+        tech = cfg.tech.with_overrides(signaling=fmt)
+        c = cfg.with_overrides(tech=tech)
+        energy_fj = (tech.modulation_energy_fj_per_bit
+                     + tech.detection_energy_fj_per_bit
+                     + tech.laser_energy_fj_per_bit)
+        laser_w = sum(r.laser_power_w for r in table5_rows(c))
+        rows.append((fmt.upper(),
+                     "%.0f Gb/s" % tech.effective_bit_rate_gbps,
+                     "%.0f GB/s" % c.site_bandwidth_gb_per_s,
+                     "%.0f fJ/bit" % energy_fj,
+                     "%.1f dB" % tech.signaling_penalty_db,
+                     "%.1f W" % laser_w))
+    return render_table(
+        ["Signaling", "Rate/wavelength", "Site BW", "Link Energy",
+         "Eye Penalty", "Total Laser Power"], rows,
+        title="Multilevel Signaling: NRZ vs PAM4 (20 Gbaud)")
+
+
 def all_tables_text(config: MacrochipConfig = None) -> str:
     return "\n\n".join([
         table1_text(),
         table4_text(config),
         table5_text(config),
         table6_text(config),
+        signaling_comparison_text(config),
     ])
 
 

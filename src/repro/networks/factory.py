@@ -13,6 +13,7 @@ key                         architecture
 ``two_phase_alt``           ALT variant with doubled switch trees
 ``token_ring``              token-ring crossbar, Corona adaptation (4.4)
 ``circuit_switched``        circuit-switched torus adaptation (4.5)
+``hermes``                  HERMES hierarchical broadcast (extension)
 ==========================  ==========================================
 """
 
@@ -23,6 +24,7 @@ from typing import Callable, Dict, List
 from .base import InterSiteNetwork
 from .circuit_switched import CircuitSwitchedTorus
 from .electrical_baseline import ElectricalBaselineNetwork
+from .hermes import HermesHierarchicalNetwork
 from .limited_point_to_point import LimitedPointToPointNetwork
 from .point_to_point import PointToPointNetwork
 from .token_ring import TokenRingCrossbar
@@ -39,6 +41,7 @@ NETWORK_CLASSES: Dict[str, Callable[..., InterSiteNetwork]] = {
     "two_phase_alt": TwoPhaseAltNetwork,
     "token_ring": TokenRingCrossbar,
     "circuit_switched": CircuitSwitchedTorus,
+    "hermes": HermesHierarchicalNetwork,
 }
 
 #: the five architectures of Figure 6 (ALT excluded, as in the paper)
@@ -59,6 +62,11 @@ FIGURE7_NETWORKS: List[str] = [
     "two_phase",
     "two_phase_alt",
 ]
+
+#: the paper's Figure 6 set plus the HERMES extension network — used by
+#: extension studies and the invariant smoke; the paper-exact FIGURE6 /
+#: FIGURE7 lists above stay untouched so the pinned artifacts do too
+EXTENDED_NETWORKS: List[str] = FIGURE6_NETWORKS + ["hermes"]
 
 
 def available_networks() -> List[str]:

@@ -1,0 +1,341 @@
+"""HERMES-style hierarchical broadcast network (extension network).
+
+HERMES (after Mohamed et al.) organizes the macrochip's sites into small
+rectangular *clusters*.  Within a cluster, every site owns a full
+modulator bank on a shared single-writer multiple-reader broadcast ring:
+one optical hop reaches any cluster member, and every member physically
+sees every transmission (which is what makes the architecture attractive
+for invalidations/snooping — the power model charges the split and the
+extra detection energy accordingly).  Between clusters, one *gateway*
+site per cluster terminates a dedicated WDM channel to every other
+gateway — a global photonic crossbar over clusters rather than sites.
+
+A cross-cluster message therefore takes up to three optical legs:
+
+1. the source's intra-cluster ring to the local gateway,
+2. the global gateway-to-gateway channel,
+3. the destination cluster's ring, rebroadcast by its gateway.
+
+At each gateway traversal the packet crosses the electronic domain
+(O-E conversion, buffering, E-O re-modulation), modeled like the limited
+point-to-point forwarder: a 60-cycle conversion overhead plus the
+60 pJ/byte router energy of section 6.3 into the 'router' category.
+Because the global layer concentrates the whole cluster's off-cluster
+traffic onto its gateway channels, HERMES saturates earlier than the
+site-level point-to-point network — the hierarchy trades peak throughput
+for a much smaller global waveguide plant (see ``complexity.py``).
+
+The model follows the package contract: serialized :class:`Channel`
+servers, interned derived geometry, ``_reset_state`` for warm-start, and
+trace events on every channel so the invariant checkers apply unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .base import Channel, InterSiteNetwork, Packet
+from ..core.engine import Simulator
+from ..core.interning import intern_memo, intern_table
+from ..core.units import propagation_ps
+from ..macrochip.config import MacrochipConfig
+from ..photonics.power import router_energy_pj
+
+
+def normalize_cluster_dims(layout, cluster_rows: int,
+                           cluster_cols: int) -> Tuple[int, int]:
+    """Clamp requested cluster dimensions to the largest divisors of the
+    layout that do not exceed them, so any layout tiles exactly.
+
+    A 4x4 or 8x8 macrochip with the default 2x2 request is unchanged; a
+    3x3 macrochip degrades to 1x1 clusters (every site its own gateway,
+    i.e. a pure global crossbar) rather than raising.
+    """
+    if cluster_rows < 1 or cluster_cols < 1:
+        raise ValueError("cluster dimensions must be at least 1x1")
+
+    def largest_divisor(extent: int, bound: int) -> int:
+        for d in range(min(extent, bound), 0, -1):
+            if extent % d == 0:
+                return d
+        return 1
+
+    return (largest_divisor(layout.rows, cluster_rows),
+            largest_divisor(layout.cols, cluster_cols))
+
+
+def _build_cluster_tables(layout, cr: int, cc: int):
+    """Derived geometry for a clustering: all pure functions of layout
+    and cluster shape, built once per (layout, shape) and interned.
+
+    Returns ``(cluster_of, members, gateway, ring_prop)``:
+
+    * ``cluster_of[site]`` — cluster id (row-major over cluster tiles);
+    * ``members[cid]`` — cluster member sites in ring (boustrophedon)
+      order;
+    * ``gateway[cid]`` — the cluster's gateway site (lowest site id);
+    * ``ring_prop[src * n + dst]`` — optical flight time in ps from
+      ``src`` to ``dst`` along their shared unidirectional ring (0 for
+      pairs that do not share a cluster).
+    """
+    n = layout.num_sites
+    tiles_per_row = layout.cols // cc
+    cluster_of = [0] * n
+    for site in range(n):
+        r, c = layout.coords(site)
+        cluster_of[site] = (r // cr) * tiles_per_row + (c // cc)
+    num_clusters = (layout.rows // cr) * tiles_per_row
+
+    members: List[List[int]] = [[] for _ in range(num_clusters)]
+    for cid in range(num_clusters):
+        tile_r, tile_c = divmod(cid, tiles_per_row)
+        for lr in range(cr):
+            # boustrophedon within the cluster block: even local rows
+            # left-to-right, odd local rows right-to-left
+            cols = range(cc) if lr % 2 == 0 else range(cc - 1, -1, -1)
+            for lc in cols:
+                members[cid].append(
+                    layout.site_at(tile_r * cr + lr, tile_c * cc + lc))
+    gateway = [min(m) for m in members]
+
+    ring_prop = [0] * (n * n)
+    for ring in members:
+        k = len(ring)
+        if k < 2:
+            continue
+        # cumulative physical distance along the ring path, closing the
+        # loop from the last member back to the first
+        hop_cm = [layout.manhattan_distance_cm(ring[i], ring[(i + 1) % k])
+                  for i in range(k)]
+        ring_len_cm = sum(hop_cm)
+        cum = [0.0] * k
+        for i in range(1, k):
+            cum[i] = cum[i - 1] + hop_cm[i - 1]
+        for i, src in enumerate(ring):
+            for j, dst in enumerate(ring):
+                if src == dst:
+                    continue
+                dist = cum[j] - cum[i]
+                if dist <= 0.0:
+                    dist += ring_len_cm
+                ring_prop[src * n + dst] = propagation_ps(dist)
+    return cluster_of, members, gateway, ring_prop
+
+
+class HermesHierarchicalNetwork(InterSiteNetwork):
+    """Clustered broadcast rings under a global gateway crossbar."""
+
+    name = "HERMES"
+    switching_class = "electronic"
+
+    def __init__(self, config: MacrochipConfig, sim: Simulator,
+                 warmup_ps: int = 0,
+                 cluster_rows: int = 2, cluster_cols: int = 2,
+                 conversion_overhead_cycles: int = 60) -> None:
+        super().__init__(config, sim, warmup_ps)
+        layout = config.layout
+        self.cluster_rows, self.cluster_cols = normalize_cluster_dims(
+            layout, cluster_rows, cluster_cols)
+        shape = (self.cluster_rows, self.cluster_cols)
+        (self._cluster_of, self._members, self._gateway,
+         self._ring_prop) = intern_table(
+            ("hermes-geometry", layout, shape),
+            lambda: _build_cluster_tables(layout, *shape))
+        self.num_clusters = len(self._members)
+        self.cluster_size = self.cluster_rows * self.cluster_cols
+        n = layout.num_sites
+        self._num_sites = n
+
+        # every site drives its full modulator bank onto its cluster ring
+        self.ring_gb_per_s = (config.transmitters_per_site
+                              * config.wavelength_gb_per_s)
+        # each gateway splits one bank across the other gateways; the
+        # resulting narrow channels are the architecture's bottleneck
+        pairs = max(1, self.num_clusters - 1)
+        self.global_wavelengths = max(
+            1, config.transmitters_per_site // pairs)
+        self.global_gb_per_s = (self.global_wavelengths
+                                * config.wavelength_gb_per_s)
+        # O-E / E-O conversion around the gateway's electronic router,
+        # same calibration as the limited point-to-point forwarder
+        self.gateway_latency_ps = config.cycles_ps(
+            1 + conversion_overhead_cycles)
+
+        self._ring_channel: List[Optional[Channel]] = [None] * n
+        self._global_channel: List[Optional[Channel]] = (
+            [None] * (self.num_clusters * self.num_clusters))
+        # cached arrival callbacks (one per site / cluster, not per packet)
+        self._ring_final_cb: List[Optional[Callable[[Packet], None]]] = (
+            [None] * n)
+        self._ring_gateway_cb: List[Optional[Callable[[Packet], None]]] = (
+            [None] * n)
+        self._global_arrival_cb: List[Optional[Callable[[Packet], None]]] = (
+            [None] * self.num_clusters)
+        # per-size snoop detection energy (the k-1 non-target listeners
+        # on a ring broadcast), interned per (tech, cluster size)
+        self._snoop_pj: Dict[int, float] = intern_memo(
+            ("hermes-snoop-pj", config.tech, self.cluster_size), dict)
+        #: optional broadcast observer: called as cb(member_site, packet)
+        #: for every cluster member that physically sees a ring
+        #: transmission it is not the source of
+        self._snoop: Optional[Callable[[int, Packet], None]] = None
+        #: diagnostic counters (reset with the run)
+        self.intra_packets = 0
+        self.inter_packets = 0
+        self.snoop_events = 0
+
+    def _reset_state(self) -> None:
+        # channels are rewound by the base reset; geometry, channel
+        # tables, and arrival callbacks are pure and stay
+        self._snoop = None
+        self.intra_packets = 0
+        self.inter_packets = 0
+        self.snoop_events = 0
+
+    # -- topology ----------------------------------------------------------
+
+    def cluster_of(self, site: int) -> int:
+        """Cluster id of a site."""
+        return self._cluster_of[site]
+
+    def cluster_members(self, cid: int) -> Tuple[int, ...]:
+        """Member sites of a cluster, in ring order."""
+        return tuple(self._members[cid])
+
+    def gateway_of(self, cid: int) -> int:
+        """The gateway site of a cluster."""
+        return self._gateway[cid]
+
+    def set_snoop(self, snoop: Optional[Callable[[int, Packet], None]]) -> None:
+        """Register (or detach) the broadcast observer."""
+        self._snoop = snoop
+
+    def ring_channel(self, src: int) -> Channel:
+        ch = self._ring_channel[src]
+        if ch is None:
+            cid = self._cluster_of[src]
+            ch = self._new_channel(
+                self.ring_gb_per_s, 0,
+                name="hermes-ring[c%d|src=%d]" % (cid, src))
+            self._ring_channel[src] = ch
+        return ch
+
+    def global_channel(self, src_cluster: int, dst_cluster: int) -> Channel:
+        idx = src_cluster * self.num_clusters + dst_cluster
+        ch = self._global_channel[idx]
+        if ch is None:
+            a = self._gateway[src_cluster]
+            b = self._gateway[dst_cluster]
+            ch = self._new_channel(
+                self.global_gb_per_s, self.propagation_ps(a, b),
+                name="hermes-global[c%d->c%d]" % (src_cluster, dst_cluster))
+            self._global_channel[idx] = ch
+        return ch
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(self, packet: Packet) -> None:
+        src = packet.src
+        dst = packet.dst
+        src_cluster = self._cluster_of[src]
+        if src_cluster == self._cluster_of[dst]:
+            self.intra_packets += 1
+            packet.hops = 1
+            self.ring_channel(src).send(packet, self._final_cb(src))
+            return
+        self.inter_packets += 1
+        src_gw = self._gateway[src_cluster]
+        dst_gw = self._gateway[self._cluster_of[dst]]
+        packet.hops = (1 + (src != src_gw) + (dst != dst_gw))
+        if src == src_gw:
+            # the gateway modulates straight onto the global channel
+            self._send_global(packet)
+        else:
+            self.ring_channel(src).send(packet, self._gateway_cb(src))
+
+    def _broadcast_snoop(self, src: int, packet: Packet) -> None:
+        """Account the listeners of one ring transmission: every cluster
+        member other than the source physically detects the bits."""
+        cid = self._cluster_of[src]
+        listeners = self.cluster_size - 1
+        if listeners <= 0:
+            return
+        self.snoop_events += listeners
+        size = packet.size_bytes
+        pj = self._snoop_pj.get(size)
+        if pj is None:
+            pj = (size * 8 * self.config.tech.detection_energy_fj_per_bit
+                  * listeners / 1000.0)
+            self._snoop_pj[size] = pj
+        self.stats.energy.add("snoop", pj)
+        if self._snoop is not None:
+            for member in self._members[cid]:
+                if member != src:
+                    self._snoop(member, packet)
+
+    def _final_cb(self, src: int) -> Callable[[Packet], None]:
+        """Ring arrival callback: transmission ended, fly the remaining
+        ring distance to the packet's destination and deliver."""
+        cb = self._ring_final_cb[src]
+        if cb is None:
+            n = self._num_sites
+            ring_prop = self._ring_prop
+
+            def cb(packet: Packet, _src: int = src) -> None:
+                self._broadcast_snoop(_src, packet)
+                self.sim.schedule(ring_prop[_src * n + packet.dst],
+                                  self._deliver, packet)
+
+            self._ring_final_cb[src] = cb
+        return cb
+
+    def _gateway_cb(self, src: int) -> Callable[[Packet], None]:
+        """Ring arrival callback for the first leg of a cross-cluster
+        route: fly to the local gateway, then cross into the electronic
+        domain there."""
+        cb = self._ring_gateway_cb[src]
+        if cb is None:
+            n = self._num_sites
+            gw = self._gateway[self._cluster_of[src]]
+            prop = self._ring_prop[src * n + gw]
+
+            def cb(packet: Packet, _prop: int = prop, _src: int = src) -> None:
+                self._broadcast_snoop(_src, packet)
+                self.sim.schedule(_prop, self._at_source_gateway, packet)
+
+            self._ring_gateway_cb[src] = cb
+        return cb
+
+    def _at_source_gateway(self, packet: Packet) -> None:
+        """O-E conversion, electronic gateway router, E-O onto the global
+        channel."""
+        self.stats.energy.add("router", router_energy_pj(packet.size_bytes))
+        self.sim.schedule(self.gateway_latency_ps, self._send_global, packet)
+
+    def _send_global(self, packet: Packet) -> None:
+        src_cluster = self._cluster_of[packet.src]
+        dst_cluster = self._cluster_of[packet.dst]
+        ch = self.global_channel(src_cluster, dst_cluster)
+        ch.send(packet, self._arrival_cb(dst_cluster))
+
+    def _arrival_cb(self, dst_cluster: int) -> Callable[[Packet], None]:
+        """Global-channel arrival at the destination gateway: deliver if
+        the gateway is the destination, else rebroadcast on its ring."""
+        cb = self._global_arrival_cb[dst_cluster]
+        if cb is None:
+            gw = self._gateway[dst_cluster]
+
+            def cb(packet: Packet, _gw: int = gw) -> None:
+                if packet.dst == _gw:
+                    self._deliver(packet)
+                    return
+                self.stats.energy.add(
+                    "router", router_energy_pj(packet.size_bytes))
+                self.sim.schedule(self.gateway_latency_ps,
+                                  self._rebroadcast, packet, _gw)
+
+            self._global_arrival_cb[dst_cluster] = cb
+        return cb
+
+    def _rebroadcast(self, packet: Packet, gateway: int) -> None:
+        self.ring_channel(gateway).send(packet, self._final_cb(gateway))

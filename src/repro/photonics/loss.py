@@ -71,11 +71,15 @@ class LinkBudget:
 
 def budget_for(path: comp.OpticalPath,
                tech: Technology = DEFAULT_TECHNOLOGY) -> LinkBudget:
-    """Compute the budget of an explicit component path."""
+    """Compute the budget of an explicit component path.
+
+    Uses the signaling-adjusted receiver sensitivity: a PAM4 link closes
+    against a sensitivity degraded by the eye penalty (NRZ is unchanged).
+    """
     return LinkBudget(
         loss_db=path.total_loss_db,
         launch_dbm=tech.laser_launch_power_dbm,
-        sensitivity_dbm=tech.receiver_sensitivity_dbm,
+        sensitivity_dbm=tech.effective_receiver_sensitivity_dbm,
     )
 
 
@@ -118,6 +122,22 @@ def snoop_extra_loss_db(snoopers: int = 8) -> float:
     from ..core.units import factor_to_db
 
     return factor_to_db(float(snoopers))
+
+
+def hermes_extra_loss_db(cluster_size: int = 4,
+                         rings_passed: int = None,
+                         tech: Technology = DEFAULT_TECHNOLOGY) -> float:
+    """HERMES hierarchical broadcast: every intra-cluster transmission is
+    physically split across all ``cluster_size`` cluster members (a
+    factor of the member count, like the snooped arbitration guides), and
+    each wavelength passes the off-resonance modulator rings of the other
+    cluster members on the shared broadcast ring."""
+    from ..core.units import factor_to_db
+
+    if rings_passed is None:
+        rings_passed = (cluster_size - 1) * 8
+    return (factor_to_db(float(cluster_size))
+            + rings_passed * tech.modulator_off_resonance_loss_db)
 
 
 def power_loss_factor(extra_loss_db: float) -> float:

@@ -56,10 +56,14 @@ def laser_power_w(laser_feeds: int, extra_loss_db: float,
 def transmit_energy_pj(size_bytes: int,
                        tech: Technology = DEFAULT_TECHNOLOGY) -> float:
     """Dynamic energy (pJ) to move ``size_bytes`` across one optical link:
-    modulator + receiver + amortized laser energy per bit."""
+    modulator + receiver + amortized laser energy per bit.
+
+    The modulation/detection terms follow the technology's signaling
+    format (``nrz`` reproduces the paper's 35 + 65 fJ/bit exactly; PAM4
+    pays its DAC/linear-receiver premium per bit)."""
     bits = size_bytes * 8
-    per_bit_fj = (tech.modulator_energy_fj_per_bit
-                  + tech.receiver_energy_fj_per_bit
+    per_bit_fj = (tech.modulation_energy_fj_per_bit
+                  + tech.detection_energy_fj_per_bit
                   + tech.laser_energy_fj_per_bit)
     return bits * per_bit_fj / 1000.0
 

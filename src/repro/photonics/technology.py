@@ -10,7 +10,19 @@ bandwidths in Gb/s.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
+
+
+#: Supported line-coding formats.  ``nrz`` is the paper's baseline
+#: (1 bit/symbol at 20 Gbaud); ``pam4`` encodes 2 bits/symbol at the
+#: same symbol rate, following the cross-layer multilevel-signaling
+#: analyses (Karempudi et al.): double the data rate per wavelength, at
+#: the cost of higher modulation/detection energy (DAC-driven modulator,
+#: linear receiver front end) and a reduced eye opening — the minimum
+#: PAM4 eye is 1/3 of the NRZ eye, a 10*log10(3) ~ 4.8 dB optical power
+#: penalty charged against the link budget.
+SIGNALING_FORMATS = ("nrz", "pam4")
 
 
 @dataclass(frozen=True)
@@ -43,24 +55,98 @@ class Technology:
     laser_power_per_wavelength_mw: float = 1.0  # launched power baseline
 
     # --- link-level constants ---
-    bit_rate_gbps: float = 20.0  # per wavelength
+    bit_rate_gbps: float = 20.0  # per wavelength (symbol rate, Gbaud)
     receiver_sensitivity_dbm: float = -21.0
     laser_launch_power_dbm: float = 0.0
     waveguide_worst_case_loss_db: float = 6.0  # across largest macrochip
 
+    # --- multilevel signaling (NRZ baseline vs PAM4 variant) ---
+    #: line coding: "nrz" (paper baseline) or "pam4" (2 bits/symbol)
+    signaling: str = "nrz"
+    #: PAM4 modulator drive energy: a 2-bit DAC-driven (e.g. segmented)
+    #: ring/MZM stage costs more per bit than the paper's 35 fJ OOK ring
+    pam4_modulator_energy_fj_per_bit: float = 55.0
+    #: PAM4 receiver energy: linear TIA + 2-bit slicing roughly doubles
+    #: the paper's 65 fJ/bit limiting receiver
+    pam4_receiver_energy_fj_per_bit: float = 110.0
+    #: optical power penalty of the 1/3-height PAM4 eye: 10*log10(3)
+    pam4_snr_penalty_db: float = 4.8
+
+    def __post_init__(self) -> None:
+        if self.signaling not in SIGNALING_FORMATS:
+            raise ValueError(
+                "unknown signaling %r; choose one of %s"
+                % (self.signaling, ", ".join(SIGNALING_FORMATS)))
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Line-coding density: 1 for NRZ, 2 for PAM4."""
+        return 2 if self.signaling == "pam4" else 1
+
+    @property
+    def effective_bit_rate_gbps(self) -> float:
+        """Data rate per wavelength after line coding (same symbol rate)."""
+        if self.signaling == "nrz":
+            return self.bit_rate_gbps
+        return self.bit_rate_gbps * self.bits_per_symbol
+
     @property
     def wavelength_bandwidth_gb_per_s(self) -> float:
-        """Data bandwidth of one wavelength in GB/s (20 Gb/s -> 2.5 GB/s)."""
-        return self.bit_rate_gbps / 8.0
+        """Data bandwidth of one wavelength in GB/s (20 Gb/s -> 2.5 GB/s
+        under NRZ; PAM4 doubles it at the same symbol rate)."""
+        if self.signaling == "nrz":
+            return self.bit_rate_gbps / 8.0
+        return self.effective_bit_rate_gbps / 8.0
+
+    @property
+    def modulation_energy_fj_per_bit(self) -> float:
+        """Per-bit modulator energy for the active signaling format."""
+        if self.signaling == "pam4":
+            return self.pam4_modulator_energy_fj_per_bit
+        return self.modulator_energy_fj_per_bit
+
+    @property
+    def detection_energy_fj_per_bit(self) -> float:
+        """Per-bit receiver energy for the active signaling format."""
+        if self.signaling == "pam4":
+            return self.pam4_receiver_energy_fj_per_bit
+        return self.receiver_energy_fj_per_bit
+
+    @property
+    def signaling_penalty_db(self) -> float:
+        """Extra optical power the link must budget for the reduced eye
+        opening of the active format (0 dB for the NRZ baseline)."""
+        if self.signaling == "pam4":
+            return self.pam4_snr_penalty_db
+        return 0.0
+
+    @property
+    def effective_receiver_sensitivity_dbm(self) -> float:
+        """Receiver sensitivity after the signaling eye penalty: a PAM4
+        receiver needs proportionally more optical power for the same
+        error rate."""
+        if self.signaling == "nrz":
+            return self.receiver_sensitivity_dbm
+        return self.receiver_sensitivity_dbm + self.signaling_penalty_db
 
     @property
     def link_margin_db(self) -> float:
-        """Power budget from laser launch to receiver sensitivity."""
-        return self.laser_launch_power_dbm - self.receiver_sensitivity_dbm
+        """Power budget from laser launch to (format-adjusted) receiver
+        sensitivity."""
+        if self.signaling == "nrz":
+            return self.laser_launch_power_dbm - self.receiver_sensitivity_dbm
+        return (self.laser_launch_power_dbm
+                - self.effective_receiver_sensitivity_dbm)
 
-    def with_overrides(self, **kwargs: float) -> "Technology":
+    def with_overrides(self, **kwargs) -> "Technology":
         """Return a copy with the given fields replaced (ablation helper)."""
         return replace(self, **kwargs)
+
+
+def pam4_eye_penalty_db(levels: int = 4) -> float:
+    """The ideal multilevel eye penalty, 10*log10(levels - 1): 4.77 dB
+    for PAM4.  The Technology default rounds this to 4.8 dB."""
+    return 10.0 * math.log10(levels - 1)
 
 
 #: The default 2015 technology point used throughout the paper.

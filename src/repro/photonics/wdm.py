@@ -81,6 +81,37 @@ class WavelengthAllocator:
         return sum(len(v) for v in self._used.values())
 
 
+def wavelengths_for_bandwidth(gb_per_s: float, tech=None) -> int:
+    """Minimum wavelengths needed to carry ``gb_per_s`` at the
+    technology's per-wavelength data rate.
+
+    This is where multilevel signaling changes the wavelength plan: PAM4
+    doubles the rate per wavelength, so a fixed-bandwidth channel needs
+    half the wavelengths (and, at a fixed WDM factor, half the
+    waveguides) of its NRZ equivalent.
+    """
+    from .technology import DEFAULT_TECHNOLOGY
+
+    if tech is None:
+        tech = DEFAULT_TECHNOLOGY
+    if gb_per_s <= 0:
+        raise ValueError("bandwidth must be positive")
+    import math
+
+    per_wavelength = tech.wavelength_bandwidth_gb_per_s
+    # guard against float ulp noise pushing an exact quotient past an
+    # integer boundary (e.g. 320 / 2.5 must stay 128, not 129)
+    return max(1, math.ceil(gb_per_s / per_wavelength - 1e-9))
+
+
+def waveguides_for_wavelengths(wavelengths: int,
+                               wavelengths_per_waveguide: int) -> int:
+    """Physical waveguides needed for a wavelength count at a WDM factor."""
+    if wavelengths_per_waveguide < 1:
+        raise ValueError("WDM factor must be at least 1")
+    return -(-wavelengths // wavelengths_per_waveguide)
+
+
 def p2p_wavelength_plan(rows: int, cols: int, wavelengths_per_waveguide: int,
                         channel_width: int) -> WavelengthAllocator:
     """Build and validate the static point-to-point wavelength plan.

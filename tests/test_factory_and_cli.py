@@ -7,6 +7,7 @@ import pytest
 from repro.core.engine import Simulator
 from repro.macrochip.config import small_test_config
 from repro.networks.factory import (
+    EXTENDED_NETWORKS,
     FIGURE6_NETWORKS,
     FIGURE7_NETWORKS,
     NETWORK_CLASSES,
@@ -31,6 +32,11 @@ class TestFactory:
         assert len(FIGURE7_NETWORKS) == 6
         assert "two_phase_alt" not in FIGURE6_NETWORKS
         assert "two_phase_alt" in FIGURE7_NETWORKS
+        # the paper-exact lists exclude the HERMES extension; the
+        # extended list is the Figure 6 set plus HERMES, in order
+        assert "hermes" not in FIGURE6_NETWORKS
+        assert "hermes" not in FIGURE7_NETWORKS
+        assert EXTENDED_NETWORKS == FIGURE6_NETWORKS + ["hermes"]
 
     def test_kwargs_forwarded(self, small_config):
         net = build_network("two_phase", small_config, Simulator(),
@@ -127,6 +133,33 @@ class TestRunCli:
         assert figure6_stubs["driver"] == "adaptive"
         assert figure6_stubs["kwargs"]["rng_block"] == 64
 
+    def test_network_flag_restricts_figure6(self, figure6_stubs):
+        """--network implies the figure6 artifact and threads the key
+        list into the sweep driver."""
+        from repro.experiments.run import main
+
+        rc = main(["--network", "hermes"])
+        assert rc == 0
+        assert figure6_stubs["driver"] == "fixed"
+        assert figure6_stubs["kwargs"]["networks"] == ["hermes"]
+
+    def test_signaling_flag_reaches_figure6_config(self, figure6_stubs):
+        from repro.experiments.run import main
+
+        rc = main(["--artifact", "figure6", "--signaling", "pam4"])
+        assert rc == 0
+        cfg = figure6_stubs["kwargs"]["config"]
+        assert cfg.tech.signaling == "pam4"
+
+    def test_generate_tables_pam4_differ_from_nrz(self):
+        from repro.experiments.run import generate
+
+        nrz = generate("tables", "smoke", window_ns=100.0)["tables"]
+        pam4 = generate("tables", "smoke", window_ns=100.0,
+                        signaling="pam4")["tables"]
+        assert "NRZ vs PAM4" in nrz  # comparison table always present
+        assert nrz != pam4  # the active-format tables move under PAM4
+
 
 class TestTaxonomy:
     """Section 4.1's classification of optical network architectures."""
@@ -140,7 +173,9 @@ class TestTaxonomy:
             "two_phase_alt": "arbitrated",
             "token_ring": "arbitrated",
             "circuit_switched": "circuit",
+            "hermes": "electronic",
         }
+        assert set(expected) == set(NETWORK_CLASSES)
         for key, cls_name in expected.items():
             net = build_network(key, small_config, Simulator())
             assert net.switching_class == cls_name, key

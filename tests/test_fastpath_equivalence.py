@@ -47,6 +47,7 @@ NETWORK_LOADS = [
     ("token_ring", 0.05, 0.30),
     ("two_phase", 0.02, 0.08),
     ("circuit_switched", 0.01, 0.03),
+    ("hermes", 0.05, 0.30),
 ]
 
 NETWORKS = [key for key, _, _ in NETWORK_LOADS]

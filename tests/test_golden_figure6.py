@@ -48,6 +48,26 @@ GOLDEN = [
 ]
 
 
+#: HERMES extension pins — same protocol (8x8, uniform, 120 ns window),
+#: kept out of GOLDEN so the paper-exact Figure 6 coverage check below
+#: stays meaningful.
+GOLDEN_HERMES = [
+    ("hermes", 0.02, 22.850458987783593, 408.04245991565875, 768, 768, 4877),
+    ("hermes", 0.30, 33.30673646954727, 4822.044444444445, 11456, 11456, 72528),
+]
+
+#: NRZ-vs-PAM4 pin pair for the point-to-point network at the same low
+#: load: PAM4 doubles the per-wavelength data rate, so at the same
+#: offered *fraction* the absolute offered (and delivered) bandwidth
+#: doubles and serialization latency drops.  The NRZ row is identical
+#: to the GOLDEN baseline — the signaling knob is bit-invisible at its
+#: default.
+GOLDEN_SIGNALING = [
+    ("nrz", 13.960798903107861, 389.72691952308327, 768, 768, 1536),
+    ("pam4", 7.527003724394786, 765.221263568049, 1536, 1536, 3072),
+]
+
+
 @pytest.fixture(scope="module")
 def cfg():
     return scaled_config()
@@ -70,6 +90,57 @@ def test_figure6_datapoint_is_pinned(cfg, network, load, mean_latency_ns,
                                                    rel=1e-12)
     assert result.throughput_gb_per_s == pytest.approx(throughput,
                                                        rel=1e-12)
+
+
+@pytest.mark.parametrize(
+    "network,load,mean_latency_ns,throughput,delivered,injected,events",
+    GOLDEN_HERMES, ids=["%s@%.2f" % (g[0], g[1]) for g in GOLDEN_HERMES])
+def test_hermes_datapoint_is_pinned(cfg, network, load, mean_latency_ns,
+                                    throughput, delivered, injected,
+                                    events):
+    result = run_load_point(network, cfg, UniformTraffic(cfg.layout), load,
+                            window_ns=120.0)
+    assert result.delivered_packets == delivered
+    assert result.injected_packets == injected
+    assert result.events_dispatched == events
+    assert result.mean_latency_ns == pytest.approx(mean_latency_ns,
+                                                   rel=1e-12)
+    assert result.throughput_gb_per_s == pytest.approx(throughput,
+                                                       rel=1e-12)
+
+
+@pytest.mark.parametrize(
+    "signaling,mean_latency_ns,throughput,delivered,injected,events",
+    GOLDEN_SIGNALING, ids=[g[0] for g in GOLDEN_SIGNALING])
+def test_point_to_point_signaling_pin(cfg, signaling, mean_latency_ns,
+                                      throughput, delivered, injected,
+                                      events):
+    config = cfg.with_overrides(
+        tech=cfg.tech.with_overrides(signaling=signaling))
+    result = run_load_point("point_to_point", config,
+                            UniformTraffic(config.layout), 0.02,
+                            window_ns=120.0)
+    assert result.delivered_packets == delivered
+    assert result.injected_packets == injected
+    assert result.events_dispatched == events
+    assert result.mean_latency_ns == pytest.approx(mean_latency_ns,
+                                                   rel=1e-12)
+    assert result.throughput_gb_per_s == pytest.approx(throughput,
+                                                       rel=1e-12)
+
+
+def test_pam4_moves_in_the_pinned_direction():
+    """More bandwidth per wavelength -> more absolute offered load and
+    lower serialization latency at the same offered fraction."""
+    nrz, pam4 = GOLDEN_SIGNALING
+    assert pam4[2] > nrz[2]  # throughput up
+    assert pam4[4] > nrz[4]  # more packets injected in the window
+    assert pam4[1] < nrz[1]  # mean latency down
+    # the NRZ row is the exact GOLDEN point_to_point low-load row: the
+    # signaling default cannot move the paper baseline
+    baseline = next(g for g in GOLDEN
+                    if g[0] == "point_to_point" and g[1] == 0.02)
+    assert ("nrz",) + baseline[2:] == nrz
 
 
 def test_golden_table_covers_all_figure6_networks():

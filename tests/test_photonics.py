@@ -139,3 +139,89 @@ class TestPower:
 
     def test_router_energy_60pj_per_byte(self):
         assert router_energy_pj(64) == pytest.approx(3840.0)
+
+
+class TestSignaling:
+    """The NRZ/PAM4 multilevel-signaling knob (extension)."""
+
+    def test_nrz_is_the_default_and_bit_identical(self):
+        t = DEFAULT_TECHNOLOGY
+        assert t.signaling == "nrz"
+        assert t.bits_per_symbol == 1
+        assert t.effective_bit_rate_gbps == 20.0
+        assert t.wavelength_bandwidth_gb_per_s == 2.5
+        # dispatch properties reproduce the paper's Table 1 fields exactly
+        assert t.modulation_energy_fj_per_bit == t.modulator_energy_fj_per_bit
+        assert t.detection_energy_fj_per_bit == t.receiver_energy_fj_per_bit
+        assert t.signaling_penalty_db == 0.0
+        assert (t.effective_receiver_sensitivity_dbm
+                == t.receiver_sensitivity_dbm)
+        assert t.link_margin_db == 21.0
+        assert transmit_energy_pj(64, t) == 76.8
+
+    def test_pam4_doubles_rate_per_wavelength(self):
+        t = DEFAULT_TECHNOLOGY.with_overrides(signaling="pam4")
+        assert t.bits_per_symbol == 2
+        assert t.effective_bit_rate_gbps == 40.0
+        assert t.wavelength_bandwidth_gb_per_s == 5.0
+
+    def test_pam4_energy_per_bit_is_higher(self):
+        t = DEFAULT_TECHNOLOGY.with_overrides(signaling="pam4")
+        assert t.modulation_energy_fj_per_bit == 55.0
+        assert t.detection_energy_fj_per_bit == 110.0
+        # 64 B x 8 x (55 + 110 + 50) fJ/bit = 110.08 pJ vs NRZ's 76.8
+        assert transmit_energy_pj(64, t) == pytest.approx(110.08)
+        assert transmit_energy_pj(64, t) > transmit_energy_pj(64)
+
+    def test_pam4_eye_penalty_shrinks_link_margin(self):
+        from repro.photonics.technology import pam4_eye_penalty_db
+
+        t = DEFAULT_TECHNOLOGY.with_overrides(signaling="pam4")
+        assert t.signaling_penalty_db == 4.8
+        assert t.effective_receiver_sensitivity_dbm == pytest.approx(-16.2)
+        assert t.link_margin_db == pytest.approx(16.2)
+        # the default rounds the ideal 10*log10(3) = 4.77 dB
+        assert pam4_eye_penalty_db() == pytest.approx(4.771, abs=1e-3)
+
+    def test_canonical_link_closes_nrz_but_not_pam4(self):
+        """The 17 dB unswitched link leaves 4 dB of NRZ margin; the PAM4
+        eye penalty eats it — the budget surfaces the tradeoff."""
+        t4 = DEFAULT_TECHNOLOGY.with_overrides(signaling="pam4")
+        nrz = loss.budget_for(loss.unswitched_link())
+        pam4 = loss.budget_for(loss.unswitched_link(t4), t4)
+        assert nrz.closes
+        assert nrz.margin_db == pytest.approx(4.0)
+        assert not pam4.closes
+        assert pam4.margin_db == pytest.approx(nrz.margin_db - 4.8)
+
+    def test_pam4_halves_wavelengths_for_fixed_bandwidth(self):
+        from repro.photonics.wdm import (waveguides_for_wavelengths,
+                                         wavelengths_for_bandwidth)
+
+        t4 = DEFAULT_TECHNOLOGY.with_overrides(signaling="pam4")
+        assert wavelengths_for_bandwidth(320.0) == 128
+        assert wavelengths_for_bandwidth(320.0, t4) == 64
+        assert waveguides_for_wavelengths(128, 8) == 16
+        assert waveguides_for_wavelengths(64, 8) == 8
+
+    def test_unknown_signaling_rejected(self):
+        with pytest.raises(ValueError):
+            Technology(signaling="qam16")
+
+    def test_signaling_survives_config_roundtrip(self):
+        from repro.macrochip.config import scaled_config
+        from repro.macrochip.configio import config_from_dict, config_to_dict
+
+        cfg = scaled_config()
+        cfg = cfg.with_overrides(
+            tech=cfg.tech.with_overrides(signaling="pam4"))
+        again = config_from_dict(config_to_dict(cfg, full=True))
+        assert again.tech.signaling == "pam4"
+        assert again == cfg
+
+    def test_hermes_extra_loss(self):
+        # 4-way broadcast split (6.02 dB) + 24 ring passes at 0.1 dB
+        assert loss.hermes_extra_loss_db(4, 24) == pytest.approx(
+            db_to_factor(0) * 0 + 8.420599913279624)
+        # default rings_passed derives from the cluster size
+        assert loss.hermes_extra_loss_db(4) == loss.hermes_extra_loss_db(4, 24)

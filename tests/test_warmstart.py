@@ -43,6 +43,7 @@ NETWORK_LOADS = [
     ("two_phase", 0.08),
     ("circuit_switched", 0.03),
     ("electrical_baseline", 0.05),
+    ("hermes", 0.30),
 ]
 
 NETWORKS = [key for key, _ in NETWORK_LOADS]
