@@ -1,11 +1,19 @@
-"""Sweep benchmarks: warm-vs-cold (BENCH_PR5) and adaptive-vs-fixed
-(BENCH_PR4).
+"""Sweep benchmarks: warm-vs-cold (BENCH_PR5), adaptive-vs-fixed
+(BENCH_PR4), and events/sec across grid sizes (BENCH_PR8).
 
 Usage (from the repository root)::
 
     PYTHONPATH=src python benchmarks/bench_sweep.py
-        [--mode warm|adaptive] [--out PATH] [--window-ns W] [--workers N]
-        [--repeats R] [--baseline PATH] [--quick]
+        [--mode warm|adaptive|scaling] [--out PATH] [--window-ns W]
+        [--workers N] [--repeats R] [--baseline PATH] [--quick]
+
+``--mode scaling`` measures simulator throughput as the macrochip grows:
+one invariant-checked load point per (network, grid size) at 4x4, 8x8,
+and 16x16 with the per-site resources held at the Table 4 point, best of
+``--repeats`` cold runs each.  The report records events/sec vs grid
+size per network plus the analytical feasibility of each scale point
+(``repro.experiments.scaling``), and is written to
+``results/BENCH_PR8.json``.
 
 ``--mode warm`` (the default) measures the PR 5 warm-start machinery:
 the full Figure 6 grid (4 patterns x 5 networks) runs per network twice
@@ -202,6 +210,96 @@ def print_warm_report(report: dict) -> None:
              t["wall_clock_ratio"] or 0.0))
     print("  >=1.3x warm speedup with identical results: %s"
           % report["meets_1p3x_target"])
+
+
+# -- events/sec vs grid size (BENCH_PR8) --------------------------------------
+
+#: the grids the scaling benchmark simulates (32x32 stays analytical —
+#: a point-to-point network there materializes ~1M channel entries)
+SCALING_BENCH_DIMS = (4, 8, 16)
+#: one cheap dedicated-channel network, one arbitrated shared medium
+SCALING_BENCH_NETWORKS = ("point_to_point", "token_ring")
+#: scaling-mode default injection window: long enough that a 16x16 run
+#: dispatches tens of thousands of events, short enough for CI
+SCALING_WINDOW_NS = 30.0
+
+
+def run_scaling_benchmark(window_ns: float, repeats: int = 3,
+                          dims=SCALING_BENCH_DIMS,
+                          networks=SCALING_BENCH_NETWORKS,
+                          progress=None) -> dict:
+    """Time one cold, invariant-checked load point per (network, dim)
+    and assemble the BENCH_PR8 document."""
+    from repro.experiments.scaling import (analyze_network,
+                                           simulate_scale_point)
+
+    per_network = {}
+    for net in networks:
+        by_dim = {}
+        net_events = 0
+        net_wall = 0.0
+        for dim in dims:
+            best_s = float("inf")
+            result = None
+            for _ in range(repeats):
+                clear_contexts()
+                clear_draw_banks()
+                t0 = time.perf_counter()
+                result = simulate_scale_point(net, dim,
+                                              window_ns=window_ns)
+                best_s = min(best_s, time.perf_counter() - t0)
+            feasibility = analyze_network(net, dim)
+            by_dim[str(dim)] = {
+                "sites": dim * dim,
+                "events": result.events_dispatched,
+                "delivered": result.delivered_packets,
+                "wall_clock_s": best_s,
+                "events_per_sec": result.events_dispatched / best_s,
+                "analytically_feasible": feasibility.feasible,
+                "failed_axes": list(feasibility.failed_axes),
+            }
+            net_events += result.events_dispatched
+            net_wall += best_s
+            if progress:
+                progress("scaling: %s %dx%d (%d events, %.2fs best of %d)"
+                         % (net, dim, dim, result.events_dispatched,
+                            best_s, repeats))
+        per_network[net] = {
+            "by_dim": by_dim,
+            "events": net_events,
+            "wall_clock_s": net_wall,
+            "events_per_sec": net_events / net_wall,
+        }
+    return {
+        "schema": "repro-bench-pr8/1",
+        "generated_unix": time.time(),
+        "host": host_info(),
+        "window_ns": window_ns,
+        "repeats": repeats,
+        "dims": list(dims),
+        "totals": {
+            "events": sum(r["events"] for r in per_network.values()),
+            "wall_clock_s": sum(r["wall_clock_s"]
+                                for r in per_network.values()),
+        },
+        "networks": per_network,
+    }
+
+
+def print_scaling_report(report: dict) -> None:
+    print("events/sec vs grid size (window %.0f ns, best of %d):"
+          % (report["window_ns"], report["repeats"]))
+    print("  %-24s %7s %10s %9s %12s %10s"
+          % ("network", "grid", "events", "wall s", "events/s",
+             "feasible"))
+    for net, r in report["networks"].items():
+        for dim in report["dims"]:
+            d = r["by_dim"][str(dim)]
+            print("  %-24s %3dx%-3d %10d %8.3fs %12.0f %10s"
+                  % (net, dim, dim, d["events"], d["wall_clock_s"],
+                     d["events_per_sec"],
+                     "yes" if d["analytically_feasible"]
+                     else ",".join(d["failed_axes"])))
 
 
 # -- adaptive-vs-fixed (BENCH_PR4) --------------------------------------------
@@ -403,19 +501,22 @@ def print_baseline_delta(report: dict, baseline_path: str) -> None:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--mode", default="warm",
-                        choices=["warm", "adaptive"],
+                        choices=["warm", "adaptive", "scaling"],
                         help="warm: cold-vs-warm-start PR5 benchmark "
                              "(default); adaptive: fixed-vs-adaptive "
-                             "PR4 benchmark")
+                             "PR4 benchmark; scaling: events/sec vs "
+                             "grid size PR8 benchmark")
     parser.add_argument("--out", default=None,
                         help="output JSON path (default: "
                              "results/BENCH_PR5.json for --mode warm, "
                              "results/BENCH_PR4.json for --mode "
-                             "adaptive)")
+                             "adaptive, results/BENCH_PR8.json for "
+                             "--mode scaling)")
     parser.add_argument("--window-ns", type=float, default=None,
                         help="injection window per load point (default: "
-                             "%.0f warm / %.0f adaptive)"
-                             % (WARM_WINDOW_NS, SWEEP_WINDOW_NS))
+                             "%.0f warm / %.0f adaptive / %.0f scaling)"
+                             % (WARM_WINDOW_NS, SWEEP_WINDOW_NS,
+                                SCALING_WINDOW_NS))
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes inside each sweep "
                              "(events counts are identical for any "
@@ -433,14 +534,21 @@ def main(argv=None) -> int:
                         help="CI preset: short window, fewer repeats")
     args = parser.parse_args(argv)
     warm_mode = args.mode == "warm"
+    scaling_mode = args.mode == "scaling"
     if args.out is None:
-        args.out = ("results/BENCH_PR5.json" if warm_mode
-                    else "results/BENCH_PR4.json")
+        args.out = {"warm": "results/BENCH_PR5.json",
+                    "adaptive": "results/BENCH_PR4.json",
+                    "scaling": "results/BENCH_PR8.json"}[args.mode]
     if args.window_ns is None:
-        args.window_ns = WARM_WINDOW_NS if warm_mode else SWEEP_WINDOW_NS
+        args.window_ns = {"warm": WARM_WINDOW_NS,
+                          "adaptive": SWEEP_WINDOW_NS,
+                          "scaling": SCALING_WINDOW_NS}[args.mode]
     if args.quick:
         if warm_mode:
             args.window_ns = min(args.window_ns, WARM_WINDOW_NS)
+            args.repeats = min(args.repeats, 2)
+        elif scaling_mode:
+            args.window_ns = min(args.window_ns, SCALING_WINDOW_NS)
             args.repeats = min(args.repeats, 2)
         else:
             args.window_ns = min(args.window_ns, 150.0)
@@ -450,6 +558,10 @@ def main(argv=None) -> int:
         report = run_warm_comparison(args.window_ns, workers=args.workers,
                                      repeats=args.repeats,
                                      progress=progress)
+    elif scaling_mode:
+        report = run_scaling_benchmark(args.window_ns,
+                                       repeats=args.repeats,
+                                       progress=progress)
     else:
         report = run_comparison(args.window_ns, workers=args.workers,
                                 progress=progress)
@@ -472,6 +584,8 @@ def main(argv=None) -> int:
 
     if warm_mode:
         print_warm_report(report)
+    elif scaling_mode:
+        print_scaling_report(report)
     else:
         print_report(report)
     baseline = args.baseline

@@ -32,7 +32,7 @@ from .units import serialization_ps
 from ..macrochip.config import MacrochipConfig
 from ..networks.base import Packet
 from ..networks.factory import build_network
-from ..workloads.synthetic import TrafficPattern, exponential_gaps
+from ..workloads.synthetic import TrafficPattern
 
 
 @dataclass(frozen=True)
@@ -121,7 +121,8 @@ class _DrawBank:
 
 #: per-process draw-bank registry.  Keyed by everything the draws depend
 #: on; pattern constructor seeds are irrelevant (split() replaces the
-#: RNG), so the class + layout identify the destination function.  The
+#: RNG), so the class + layout + draw signature (parametrized patterns'
+#: knobs) identify the destination function.  The
 #: registry is LRU-bounded: banks grow with the deepest load point they
 #: served, so a long-lived worker cycling through many (seed, pattern)
 #: combinations must not keep them all.
@@ -158,7 +159,11 @@ def set_draw_bank_cache_limit(limit: int) -> int:
 
 def _get_draw_bank(pattern: TrafficPattern, seed: int,
                    num_sites: int) -> _DrawBank:
-    key = (seed, pattern.__class__, pattern.layout, num_sites)
+    # draw_signature() carries any constructor knobs that alter the
+    # destination streams (e.g. a hotspot fraction), so differently
+    # parametrized instances of one pattern class never share a bank
+    key = (seed, pattern.__class__, pattern.layout, num_sites,
+           getattr(pattern, "draw_signature", tuple)())
     bank = _DRAW_BANKS.get(key)
     if bank is None:
         bank = _DrawBank(pattern, seed, num_sites)
@@ -282,15 +287,20 @@ def run_load_point(network_name: str,
     #: of process history (how many packets this worker made before)
     pids = itertools.count()
 
+    custom_gaps = getattr(pattern, "uses_custom_gaps", False)
     if rng_block > 0:
         # fast path: prefetch each site's gap and destination draws in
         # blocks.  Each site's two streams are consumed in exactly the
         # order the per-packet path consumes them, so the schedules (and
         # hence event counts, latencies, everything) are bit-identical;
         # the per-event work drops to two list indexes.
-        if warm:
+        if warm and not custom_gaps:
             # draw from the interned bank: same streams, but the unit
-            # exponentials and destinations persist across load points
+            # exponentials and destinations persist across load points.
+            # Patterns that shape arrival time (uses_custom_gaps) skip
+            # the bank — it factors *unit* exponentials, which cannot
+            # represent a modulated process — and draw directly below
+            # (warm network contexts still apply either way).
             site_gaps, site_dsts = _get_draw_bank(
                 pattern, seed, config.num_sites
             ).draws(mean_gap_ps, packets_per_site)
@@ -299,7 +309,9 @@ def run_load_point(network_name: str,
             # derived RNG streams, so site k's traffic depends only on
             # (seed, k) — never on how the other sites' events happen to
             # interleave.  This is what makes load points shard-stable
-            # under parallel decomposition.
+            # under parallel decomposition.  Gaps go through the
+            # pattern's gap_draws hook, whose default is bit-identical
+            # to the historical exponential stream.
             gap_rngs = [random.Random(derive_seed(seed, "gap", site))
                         for site in range(config.num_sites)]
             site_patterns = [pattern.split(derive_seed(seed, "dst", site))
@@ -314,7 +326,7 @@ def run_load_point(network_name: str,
                 remaining = packets_per_site
                 while remaining > 0:
                     take = rng_block if remaining > rng_block else remaining
-                    gaps.extend(exponential_gaps(rng, mean_gap_ps, take))
+                    gaps.extend(pat.gap_draws(rng, mean_gap_ps, take))
                     dsts.extend(pat.destinations(site, take))
                     remaining -= take
                 site_gaps.append(gaps)
@@ -341,12 +353,13 @@ def run_load_point(network_name: str,
             dst = site_patterns[site].destination(site)
             net.inject(Packet(site, dst, packet_bytes, pid=next(pids)))
             if remaining > 1:
-                gap = max(1,
-                          int(gap_rngs[site].expovariate(1.0 / mean_gap_ps)))
+                gap = site_patterns[site].gap_draws(
+                    gap_rngs[site], mean_gap_ps, 1)[0]
                 sim.schedule(gap, injector, site, remaining - 1)
 
         for site in range(config.num_sites):
-            first = max(1, int(gap_rngs[site].expovariate(1.0 / mean_gap_ps)))
+            first = site_patterns[site].gap_draws(
+                gap_rngs[site], mean_gap_ps, 1)[0]
             sim.at(first, injector, site, packets_per_site)
 
     horizon = int(inject_window_ps * (1.0 + drain_factor))

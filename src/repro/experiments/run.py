@@ -4,10 +4,17 @@ Usage::
 
     python -m repro.experiments.run --artifact all --preset quick
     python -m repro.experiments.run --artifact figure6 --out results/
+    python -m repro.experiments.run scaling --max-dim 32
 
 Artifacts: ``tables`` (1, 4, 5, 6), ``figure6``, ``figures`` (7-10), or
 ``all``.  Output goes to stdout and, with ``--out DIR``, to one text file
 per artifact.
+
+The ``scaling`` command runs the scaling-limit study instead: every
+network analyzed at 4x4 through ``--max-dim``, reporting the first grid
+size where laser power, wavelength provisioning, or the PD-side loss
+budget collapses (add ``--simulate`` to also run short simulated load
+points at each feasible scale up to 16x16).
 """
 
 from __future__ import annotations
@@ -101,9 +108,57 @@ def generate(artifact: str, preset: str,
     return outputs
 
 
+def run_scaling(max_dim: int, simulate: bool = False,
+                pattern: str = "uniform",
+                networks=None) -> str:
+    """Produce the scaling-limit breakpoint table (the ``scaling``
+    command), optionally appending short simulated load points at every
+    feasible scale that is cheap enough to simulate (<= 16x16; a 32x32
+    point-to-point network materializes ~1M channel-table entries and is
+    covered analytically only)."""
+    from .scaling import (breakpoint_table_text, scaling_sweep,
+                          simulate_scale_point)
+
+    results = scaling_sweep(networks=networks, max_dim=max_dim)
+    text = breakpoint_table_text(results, max_dim=max_dim)
+    if simulate:
+        lines = ["", "Simulated smoke points (pattern=%s, 50 ns window, "
+                     "5%% load):" % pattern]
+        for res in results:
+            for point in res.points:
+                if point.dim > 16 or not point.feasible:
+                    continue
+                r = simulate_scale_point(res.network, point.dim,
+                                         pattern=pattern)
+                lines.append(
+                    "  %-24s %2dx%-2d  %7d delivered  mean %8.2f ns  "
+                    "%8.1f GB/s" % (res.network, point.dim, point.dim,
+                                    r.delivered_packets, r.mean_latency_ns,
+                                    r.throughput_gb_per_s))
+        text += "\n" + "\n".join(lines)
+    return text
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's tables and figures.")
+    parser.add_argument("command", nargs="?", default=None,
+                        choices=["scaling"],
+                        help="optional subcommand: 'scaling' runs the "
+                             "scaling-limit study (breakpoint table) "
+                             "instead of the artifact pipeline")
+    parser.add_argument("--max-dim", type=int, default=32,
+                        help="largest grid dimension for the scaling "
+                             "study (sweeps 4x4, 8x8, 16x16, 32x32 up "
+                             "to this bound)")
+    parser.add_argument("--simulate", action="store_true",
+                        help="scaling study: also run short simulated "
+                             "load points at each feasible scale "
+                             "(<= 16x16)")
+    parser.add_argument("--pattern", default="uniform",
+                        help="traffic pattern for scaling --simulate "
+                             "(uniform, transpose, butterfly, neighbor, "
+                             "bursty, hotspot, adversarial)")
     parser.add_argument("--artifact", default="all",
                         choices=["tables", "figure6", "figures", "all"])
     parser.add_argument("--preset", default="quick",
@@ -158,6 +213,20 @@ def main(argv=None) -> int:
                              "rate per wavelength, higher detection "
                              "energy, ~4.8 dB eye penalty)")
     args = parser.parse_args(argv)
+
+    if args.command == "scaling":
+        started = time.time()
+        text = run_scaling(args.max_dim, simulate=args.simulate,
+                           pattern=args.pattern, networks=args.networks)
+        print(text)
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, "scaling.txt")
+            with open(path, "w") as fh:
+                fh.write(text + "\n")
+            print(".. wrote %s" % path, file=sys.stderr)
+        print(".. done in %.1fs" % (time.time() - started), file=sys.stderr)
+        return 0
 
     window = args.window_ns
     if window is None:

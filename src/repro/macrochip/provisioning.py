@@ -40,6 +40,15 @@ class PlatformBudget:
         return max(0, self.edge_fiber_capacity - self.edge_fibers_used)
 
     @property
+    def fits_edge_fibers(self) -> bool:
+        """Whether the laser plant fits the macrochip's edge-fiber
+        capacity at all.  ``fibers_available_for_memory_io`` clamps at
+        zero for reporting, which would silently hide an over-subscribed
+        edge on a scaled-up grid (a 32x32 macrochip needs 2048 laser
+        fibers against the ~2000-fiber edge) — this flag surfaces it."""
+        return self.edge_fibers_used <= self.edge_fiber_capacity
+
+    @property
     def cooling_feasible(self) -> bool:
         return self.compute_power_kw <= self.cold_plate_capacity_kw
 

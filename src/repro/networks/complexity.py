@@ -26,14 +26,43 @@ from ..photonics.loss import (
 )
 
 
-#: Worst-case 4x4-switch hops of the adapted circuit-switched torus
-#: (section 4.5: 31 hops at 0.5 dB/hop ~ 15 dB).
+#: Worst-case 4x4-switch hops of the adapted circuit-switched torus on
+#: the paper's 8x8 macrochip (section 4.5: 31 hops at 0.5 dB/hop ~
+#: 15 dB).  Kept as the pinned 8x8 value; arbitrary grids use
+#: :func:`circuit_switched_worst_hops`.
 CIRCUIT_SWITCHED_WORST_HOPS = 31
-#: Worst-case broadband-switch hops on a two-phase shared channel
-#: (section 4.3: the switch trees bound the path at 7 hops; the ALT
-#: variant's doubled trees bound it at 6).
+#: Worst-case broadband-switch hops on a two-phase shared channel of the
+#: 8x8 macrochip (section 4.3: the switch trees bound the path at 7
+#: hops; the ALT variant's doubled trees bound it at 6).  Arbitrary
+#: grids use :func:`two_phase_worst_hops`.
 TWO_PHASE_WORST_HOPS = 7
 TWO_PHASE_ALT_WORST_HOPS = 6
+
+
+def circuit_switched_worst_hops(layout) -> int:
+    """Worst-case 4x4 switch-point crossings on the torus, for any grid.
+
+    A worst-case circuit spans ``rows // 2`` row hops plus ``cols // 2``
+    column hops (torus diameter); each inter-site crossing passes the
+    four switch points of a site boundary, minus the final drop —
+    ``4 * (rows//2 + cols//2) - 1``, which is the paper's 31 on the 8x8
+    (section 4.5) and grows linearly with the grid dimension.
+    """
+    diameter = layout.rows // 2 + layout.cols // 2
+    return max(1, 4 * diameter - 1)
+
+
+def two_phase_worst_hops(layout, alt: bool = False) -> int:
+    """Worst-case broadband-switch hops along a shared row channel.
+
+    The switch trees bound the path at one hop per column segment:
+    ``cols - 1`` (7 on the paper's 8 columns); the ALT variant's doubled
+    trees save one hop (6 on the 8x8), never going below one.
+    """
+    hops = layout.cols - 1
+    if alt:
+        hops -= 1
+    return max(1, hops)
 
 
 @dataclass(frozen=True)
@@ -96,7 +125,9 @@ def limited_p2p_count(config: MacrochipConfig = None) -> ComponentCount:
         receivers=base.receivers,
         waveguides=base.waveguides,
         switches=2 * cfg.num_sites,
-        switch_kind="%dx%d electronic routers" % (cfg.layout.cols - 1,
+        # one router bridges the rows-1 row peers, one the cols-1 column
+        # peers (identical 7x7 pair on the square 8x8 of the paper)
+        switch_kind="%dx%d electronic routers" % (cfg.layout.rows - 1,
                                                   cfg.layout.cols - 1),
         laser_feeds=base.laser_feeds,
         extra_loss_db=0.0,
@@ -145,7 +176,7 @@ def circuit_switched_count(config: MacrochipConfig = None) -> ComponentCount:
         switch_kind="4x4 switches",
         laser_feeds=_total_tx(cfg),
         extra_loss_db=circuit_switched_extra_loss_db(
-            CIRCUIT_SWITCHED_WORST_HOPS, tech=cfg.tech),
+            circuit_switched_worst_hops(cfg.layout), tech=cfg.tech),
     )
 
 
@@ -168,12 +199,14 @@ def two_phase_count(config: MacrochipConfig = None,
     switches = horizontal_segments * cfg.layout.cols  # 2048 x 8 = 16K
     tx = _total_tx(cfg)
     name = "Two-Phase Data"
-    loss_db = two_phase_extra_loss_db(TWO_PHASE_WORST_HOPS, cfg.tech)
+    loss_db = two_phase_extra_loss_db(two_phase_worst_hops(cfg.layout),
+                                      cfg.tech)
     if alt:
         name = "Two-Phase Data (ALT)"
         tx *= 2
         switches -= shared_channels * 2  # shared input switches: 16K - 1K = 15K
-        loss_db = two_phase_extra_loss_db(TWO_PHASE_ALT_WORST_HOPS, cfg.tech)
+        loss_db = two_phase_extra_loss_db(
+            two_phase_worst_hops(cfg.layout, alt=True), cfg.tech)
     return ComponentCount(
         network=name,
         transmitters=tx,

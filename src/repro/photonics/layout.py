@@ -95,7 +95,11 @@ class MacrochipLayout:
         returning — the token-ring bundle path of the Corona adaptation.
 
         A snake over R rows covers ``R * row_span`` horizontally plus
-        ``col_span`` vertically, and the return leg closes the loop.
+        ``col_span`` vertically; the return guide is routed along the
+        die perimeter through the far corner (``worst_case``) regardless
+        of which corner the snake happens to end in, so the closed form
+        holds for any rows x cols, square or not.  On the paper's 8x8
+        this is the ~160 cm / 16 ns rotation of section 4.4.
         """
         forward = self.rows * self.row_span_cm + self.col_span_cm
         return forward + self.worst_case_distance_cm

@@ -140,6 +140,38 @@ def hermes_extra_loss_db(cluster_size: int = 4,
             + rings_passed * tech.modulator_off_resonance_loss_db)
 
 
+def scaled_waveguide_loss_db(layout,
+                             tech: Technology = DEFAULT_TECHNOLOGY) -> float:
+    """Worst-case substrate waveguide loss for an arbitrary macrochip.
+
+    The technology's ``waveguide_worst_case_loss_db`` (6 dB) is quoted
+    for the paper's largest macrochip — the 8x8 at 2 cm pitch, whose
+    corner-to-corner Manhattan run is 28 cm.  Waveguide loss is linear
+    in distance, so a bigger (or smaller) die scales that budget by the
+    ratio of its own worst-case run: a 16x16 corner path is 60 cm and
+    costs ~12.9 dB, a 4x4 only ~2.6 dB.  The 8x8 returns the canonical
+    6 dB exactly, so every existing Table 5 number is unchanged.
+    """
+    from .layout import DEFAULT_LAYOUT
+
+    reference_cm = DEFAULT_LAYOUT.worst_case_distance_cm  # 28 cm
+    return (tech.waveguide_worst_case_loss_db
+            * layout.worst_case_distance_cm / reference_cm)
+
+
+def waveguide_scaling_penalty_db(layout,
+                                 tech: Technology = DEFAULT_TECHNOLOGY
+                                 ) -> float:
+    """Extra waveguide loss of ``layout`` beyond the canonical budget.
+
+    The canonical 17 dB link already pays the 8x8's 6 dB worst-case
+    waveguide run; a larger die adds the difference (never negative —
+    a smaller die banks its slack as margin, it does not subsidize the
+    laser)."""
+    return max(0.0, scaled_waveguide_loss_db(layout, tech)
+               - tech.waveguide_worst_case_loss_db)
+
+
 def power_loss_factor(extra_loss_db: float) -> float:
     """Linear laser-power multiplier needed to compensate ``extra_loss_db``
     beyond the canonical (already-budgeted) link."""

@@ -32,6 +32,11 @@ class TrafficPattern:
     name = "abstract"
     #: paper's Figure 6 sweeps stop at different loads per pattern
     sweep_max_fraction = 1.0
+    #: True when :meth:`gap_draws` deviates from the plain exponential
+    #: stream — the sweep harness then bypasses the interned draw bank
+    #: (which factors *unit* exponentials and cannot represent a
+    #: state-dependent arrival process) and draws through the pattern.
+    uses_custom_gaps = False
 
     def __init__(self, layout: MacrochipLayout = None, seed: int = 0) -> None:
         self.layout = layout or MacrochipLayout()
@@ -51,6 +56,32 @@ class TrafficPattern:
         different draws.
         """
         return [self.destination(src) for _ in range(count)]
+
+    def gap_draws(self, rng: random.Random, mean_gap_ps: int,
+                  count: int) -> List[int]:
+        """``count`` inter-arrival gaps (ps, >= 1) drawn from ``rng``.
+
+        The default is the sweep's historical Poisson process
+        (:func:`exponential_gaps`) and consumes ``rng`` identically to
+        it, so patterns that don't shape time are bit-invisible here.
+        Heavy-traffic patterns (bursty) override this to modulate the
+        arrival process; overrides must consume ``rng`` sequentially so
+        draws are block-size independent, and must keep any burst state
+        on ``self`` (each injection site works on its own
+        :meth:`split`), resetting it in :meth:`reseed`/:meth:`split`.
+        """
+        return exponential_gaps(rng, mean_gap_ps, count)
+
+    def draw_signature(self) -> tuple:
+        """Hashable knobs that change the pattern's draw streams.
+
+        The sweep's interned draw bank caches destination draws keyed by
+        (pattern class, layout, signature); a parametrized pattern MUST
+        include here every constructor knob that alters its draws, or
+        two differently-configured instances would share cached streams.
+        Parameter-free patterns return ``()``.
+        """
+        return ()
 
     def reseed(self, seed: int) -> None:
         self.rng.seed(seed)
@@ -92,6 +123,16 @@ class TransposeTraffic(TrafficPattern):
     name = "Transpose"
     sweep_max_fraction = 0.06
 
+    def __init__(self, layout: MacrochipLayout = None, seed: int = 0) -> None:
+        super().__init__(layout, seed)
+        if self.layout.rows != self.layout.cols:
+            # site_at() wraps modulo the grid, so a non-square layout
+            # would silently fold (c, r) back onto the die instead of
+            # transposing — a wrong answer, not a pattern
+            raise ValueError(
+                "transpose is only defined on square macrochips, got %dx%d"
+                % (self.layout.rows, self.layout.cols))
+
     def destination(self, src: int) -> int:
         row, col = self.layout.coords(src)
         return self.layout.site_at(col, row)
@@ -111,6 +152,11 @@ class ButterflyTraffic(TrafficPattern):
         n = self.layout.num_sites
         if n & (n - 1):
             raise ValueError("butterfly needs a power-of-two site count")
+        if n < 2:
+            # a 1-site layout passes the power-of-two test but has no
+            # MSB to swap — the shift below would go negative and crash
+            # on the first destination() call
+            raise ValueError("butterfly needs at least 2 sites")
         self._msb_shift = n.bit_length() - 2
 
     def destination(self, src: int) -> int:
@@ -152,31 +198,157 @@ class NeighborTraffic(TrafficPattern):
                                for _ in range(count)]]
 
 
+class BurstyTraffic(UniformTraffic):
+    """Markov on/off (burst/idle) arrivals with uniform destinations.
+
+    Time is shaped, not destinations: while ON, packets arrive
+    ``burstiness`` times faster than the offered mean; after each packet
+    the source leaves the burst with probability ``1 / burst_length``
+    and then sits out an exponential OFF period before the next burst.
+    The OFF mean is chosen so the *long-run* mean gap stays exactly the
+    offered ``mean_gap_ps`` — the same average load as uniform Poisson,
+    delivered in clumps — so latency-vs-load curves stay comparable:
+
+        mean_on  = mean_gap / burstiness
+        mean_off = (mean_gap - mean_on) * burst_length
+
+    The process is a renewal chain (each draw is ON-gap plus, with
+    probability ``1/burst_length``, one OFF period) — memoryless across
+    draws, so gap streams are block-size independent and a pure function
+    of (seed, site) under ``reseed()``/``split()`` like every other
+    pattern's.
+    """
+
+    name = "Bursty"
+    sweep_max_fraction = 1.0
+    uses_custom_gaps = True
+
+    def __init__(self, layout: MacrochipLayout = None, seed: int = 0,
+                 burstiness: float = 4.0, burst_length: int = 16) -> None:
+        super().__init__(layout, seed)
+        if burstiness < 1.0:
+            raise ValueError("burstiness must be >= 1 (1 = plain Poisson)")
+        if burst_length < 1:
+            raise ValueError("burst length must be >= 1 packet")
+        self.burstiness = float(burstiness)
+        self.burst_length = int(burst_length)
+
+    def draw_signature(self) -> tuple:
+        return (self.burstiness, self.burst_length)
+
+    def gap_draws(self, rng: random.Random, mean_gap_ps: int,
+                  count: int) -> List[int]:
+        mean_on = max(1.0, mean_gap_ps / self.burstiness)
+        mean_off = max(1.0, (mean_gap_ps - mean_on) * self.burst_length)
+        exit_p = 1.0 / self.burst_length
+        expovariate = rng.expovariate
+        rand = rng.random
+        gaps: List[int] = []
+        append = gaps.append
+        for _ in range(count):
+            gap = int(expovariate(1.0 / mean_on))
+            if rand() < exit_p:  # burst ends: idle before the next one
+                gap += int(expovariate(1.0 / mean_off))
+            append(gap if gap >= 1 else 1)
+        return gaps
+
+
+class HotspotTraffic(TrafficPattern):
+    """Uniform traffic with a configurable fraction aimed at hot sites.
+
+    With probability ``hotspot_fraction`` a packet targets one of the
+    ``hotspots`` (site 0 by default — a corner, the worst case for the
+    distance-sensitive networks); otherwise it falls back to uniform
+    over all other sites.  A source that *is* the drawn hotspot falls
+    back to uniform too (patterns here never force self-traffic).
+    """
+
+    name = "Hotspot"
+    sweep_max_fraction = 0.10
+
+    def __init__(self, layout: MacrochipLayout = None, seed: int = 0,
+                 hotspot_fraction: float = 0.2,
+                 hotspots: List[int] = None) -> None:
+        super().__init__(layout, seed)
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError("hotspot fraction must be in [0, 1]")
+        self.hotspot_fraction = float(hotspot_fraction)
+        self.hotspots = list(hotspots) if hotspots else [0]
+        for h in self.hotspots:
+            self.layout._check_site(h)
+
+    def draw_signature(self) -> tuple:
+        return (self.hotspot_fraction, tuple(self.hotspots))
+
+    def destination(self, src: int) -> int:
+        rng = self.rng
+        if rng.random() < self.hotspot_fraction:
+            hot = (self.hotspots[0] if len(self.hotspots) == 1
+                   else self.hotspots[rng.randrange(len(self.hotspots))])
+            if hot != src:
+                return hot
+        n1 = self.layout.num_sites - 1
+        dst = rng.randrange(n1)
+        return dst if dst < src else dst + 1
+
+
+class AdversarialTraffic(TrafficPattern):
+    """Tornado permutation: every site sends to its torus antipode.
+
+    ``(r, c) -> (r + rows//2, c + cols//2)`` maximizes torus distance
+    for every single packet, gives each destination exactly one sender
+    (no statistical spreading for WDM fan-out to exploit), and parks
+    every circuit/token at the far side of the die — the adversarial
+    case for all the distance- and arbitration-limited networks.
+    Deterministic; consumes no RNG.
+    """
+
+    name = "Adversarial-Permutation"
+    sweep_max_fraction = 0.50
+
+    def destination(self, src: int) -> int:
+        row, col = self.layout.coords(src)
+        return self.layout.site_at(row + self.layout.rows // 2,
+                                   col + self.layout.cols // 2)
+
+    def destinations(self, src: int, count: int) -> List[int]:
+        return [self.destination(src)] * count  # deterministic, no RNG
+
+
 #: Figure 6's four panels, in the paper's order.
 FIGURE6_PATTERNS = [UniformTraffic, TransposeTraffic, NeighborTraffic,
                     ButterflyTraffic]
+
+#: heavy-traffic extensions (the scaling study's stress patterns)
+HEAVY_PATTERNS = [BurstyTraffic, HotspotTraffic, AdversarialTraffic]
+
+
+_PATTERN_TABLE = {
+    "uniform": UniformTraffic,
+    "transpose": TransposeTraffic,
+    "butterfly": ButterflyTraffic,
+    "neighbor": NeighborTraffic,
+    "bursty": BurstyTraffic,
+    "hotspot": HotspotTraffic,
+    "adversarial": AdversarialTraffic,
+}
 
 
 def make_pattern(name: str, layout: MacrochipLayout = None,
                  seed: int = 0) -> TrafficPattern:
     """Build a pattern by its lowercase key ('uniform', 'transpose',
-    'butterfly', 'neighbor')."""
-    table = {
-        "uniform": UniformTraffic,
-        "transpose": TransposeTraffic,
-        "butterfly": ButterflyTraffic,
-        "neighbor": NeighborTraffic,
-    }
+    'butterfly', 'neighbor', 'bursty', 'hotspot', 'adversarial')."""
     try:
-        cls = table[name]
+        cls = _PATTERN_TABLE[name]
     except KeyError:
         raise KeyError("unknown pattern %r; choose one of %s"
-                       % (name, ", ".join(sorted(table)))) from None
+                       % (name, ", ".join(sorted(_PATTERN_TABLE)))) from None
     return cls(layout, seed)
 
 
 def pattern_names() -> List[str]:
-    return ["uniform", "transpose", "butterfly", "neighbor"]
+    return ["uniform", "transpose", "butterfly", "neighbor",
+            "bursty", "hotspot", "adversarial"]
 
 
 def exponential_gaps(rng: random.Random, mean_gap_ps: int,

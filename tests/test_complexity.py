@@ -153,3 +153,65 @@ class TestHermesCounts:
 
         w = static_power_w("hermes")
         assert w > 0.0
+
+
+class TestGeneralizedWorstHops:
+    """PR 8 regression: worst-hop counts were hard-coded 8x8 constants
+    (31 / 7 / 6); they are now layout-derived, with the 8x8 values
+    provably unchanged."""
+
+    def test_8x8_values_match_the_pinned_constants(self):
+        from repro.networks.complexity import (
+            CIRCUIT_SWITCHED_WORST_HOPS, TWO_PHASE_ALT_WORST_HOPS,
+            TWO_PHASE_WORST_HOPS, circuit_switched_worst_hops,
+            two_phase_worst_hops)
+
+        layout = scaled_config().layout
+        assert (circuit_switched_worst_hops(layout)
+                == CIRCUIT_SWITCHED_WORST_HOPS == 31)
+        assert two_phase_worst_hops(layout) == TWO_PHASE_WORST_HOPS == 7
+        assert (two_phase_worst_hops(layout, alt=True)
+                == TWO_PHASE_ALT_WORST_HOPS == 6)
+
+    def test_scaled_grids_follow_the_closed_forms(self):
+        from repro.macrochip.config import grid_config
+        from repro.networks.complexity import (
+            circuit_switched_worst_hops, two_phase_worst_hops)
+
+        for dim, circuit, two_phase in [(4, 15, 3), (16, 63, 15),
+                                        (32, 127, 31)]:
+            layout = grid_config(dim).layout
+            assert circuit_switched_worst_hops(layout) == circuit
+            assert two_phase_worst_hops(layout) == two_phase
+            assert two_phase_worst_hops(layout, alt=True) == two_phase - 1
+
+    def test_non_square_uses_both_dimensions(self):
+        from repro.macrochip.config import grid_config
+        from repro.networks.complexity import (
+            circuit_switched_worst_hops, limited_p2p_count)
+
+        cfg = grid_config(4, 8)
+        # diameter = 4//2 + 8//2 = 6 -> 4*6 - 1 = 23 switch hops
+        assert circuit_switched_worst_hops(cfg.layout) == 23
+        # regression: the router label used cols-1 for both dimensions
+        assert "3x7" in limited_p2p_count(cfg).switch_kind
+
+    def test_tiny_grids_never_go_below_one_hop(self):
+        from repro.macrochip.config import grid_config
+        from repro.networks.complexity import (
+            circuit_switched_worst_hops, two_phase_worst_hops)
+
+        layout = grid_config(1, 2).layout
+        assert circuit_switched_worst_hops(layout) >= 1
+        assert two_phase_worst_hops(layout, alt=True) >= 1
+
+    def test_loss_grows_with_the_grid(self):
+        from repro.macrochip.config import grid_config
+        from repro.networks.complexity import (circuit_switched_count,
+                                               two_phase_count)
+
+        small = circuit_switched_count(grid_config(4))
+        big = circuit_switched_count(grid_config(16))
+        assert big.extra_loss_db > small.extra_loss_db
+        assert (two_phase_count(grid_config(16)).extra_loss_db
+                > two_phase_count(grid_config(4)).extra_loss_db)

@@ -73,3 +73,15 @@ def test_table4_rows_match_paper():
     assert rows["Total peak bandwidth"] == "20 TB/sec"
     assert rows["Cores per site"] == "8"
     assert rows["Threads per core"] == "1"
+
+
+def test_grid_config_holds_per_site_resources_at_table4():
+    from repro.macrochip.config import grid_config, scaled_config
+
+    assert grid_config(8) == scaled_config()
+    big = grid_config(16)
+    assert big.num_sites == 256
+    assert big.transmitters_per_site == 128
+    assert big.site_bandwidth_gb_per_s == scaled_config().site_bandwidth_gb_per_s
+    rect = grid_config(4, 8)
+    assert (rect.layout.rows, rect.layout.cols) == (4, 8)

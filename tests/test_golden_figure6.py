@@ -56,6 +56,31 @@ GOLDEN_HERMES = [
     ("hermes", 0.30, 33.30673646954727, 4822.044444444445, 11456, 11456, 72528),
 ]
 
+#: Cross-scale pins: the same protocol on a 16x16 (256-site) macrochip
+#: built with ``grid_config(16)`` — per-site resources held at the
+#: Table 4 point.  Kept out of GOLDEN so the Figure 6 coverage check
+#: stays paper-exact; these pin the *scaled* geometry paths (snake ring
+#: four times longer, 256-way channel tables) against silent drift.
+GOLDEN_16 = [
+    ("point_to_point", 0.02, 27.813278256922377, 1568.7740614638271, 3069, 3072, 6141),
+    ("point_to_point", 0.3, 29.222614188706217, 23876.79726216138, 45824, 45824, 91648),
+    ("token_ring", 0.02, 30.188964487905302, 1381.9345661450925, 3061, 3072, 14753),
+    ("token_ring", 0.2, 34.969033054030625, 12305.777777777777, 30591, 30720, 148137),
+]
+
+#: Scaling-study breakpoint pins (see ``repro.experiments.scaling``):
+#: the first grid dimension at which each network goes infeasible (None
+#: = survives through 32x32) and the axes that broke there.  These are
+#: *analytical* pins — they move only if the loss/power model moves.
+GOLDEN_BREAKPOINTS = {
+    "token_ring": (16, ("pd_budget", "laser_power")),
+    "circuit_switched": (16, ("pd_budget", "laser_power")),
+    "point_to_point": (16, ("wavelengths",)),
+    "limited_point_to_point": (32, ("pd_budget", "laser_power")),
+    "two_phase": (16, ("pd_budget", "laser_power")),
+    "hermes": (32, ("wavelengths", "pd_budget", "laser_power")),
+}
+
 #: NRZ-vs-PAM4 pin pair for the point-to-point network at the same low
 #: load: PAM4 doubles the per-wavelength data rate, so at the same
 #: offered *fraction* the absolute offered (and delivered) bandwidth
@@ -141,6 +166,68 @@ def test_pam4_moves_in_the_pinned_direction():
     baseline = next(g for g in GOLDEN
                     if g[0] == "point_to_point" and g[1] == 0.02)
     assert ("nrz",) + baseline[2:] == nrz
+
+
+@pytest.mark.parametrize(
+    "network,load,mean_latency_ns,throughput,delivered,injected,events",
+    GOLDEN_16, ids=["16x16-%s@%.2f" % (g[0], g[1]) for g in GOLDEN_16])
+def test_16x16_datapoint_is_pinned(network, load, mean_latency_ns,
+                                   throughput, delivered, injected,
+                                   events):
+    from repro.macrochip.config import grid_config
+
+    config = grid_config(16)
+    result = run_load_point(network, config, UniformTraffic(config.layout),
+                            load, window_ns=120.0)
+    assert result.delivered_packets == delivered
+    assert result.injected_packets == injected
+    assert result.events_dispatched == events
+    assert result.mean_latency_ns == pytest.approx(mean_latency_ns,
+                                                   rel=1e-12)
+    assert result.throughput_gb_per_s == pytest.approx(throughput,
+                                                       rel=1e-12)
+
+
+def test_scaling_breakpoints_are_pinned():
+    """The Table-4-style breakpoint table: first infeasible grid size
+    and failing axes per network, exactly as recorded."""
+    from repro.experiments.scaling import scaling_sweep
+
+    results = {r.network: r for r in scaling_sweep(max_dim=32)}
+    assert set(results) == set(GOLDEN_BREAKPOINTS)
+    for net, (dim, axes) in GOLDEN_BREAKPOINTS.items():
+        assert results[net].breakpoint_dim == dim, net
+        assert results[net].breakpoint_axes == axes, net
+
+
+def test_scaling_breakpoints_move_in_the_physical_direction():
+    """Direction asserts behind the pins: the lossy shared-medium
+    networks collapse before the hierarchical/point-to-point plants,
+    everything is feasible at the paper's own 8x8, and infeasibility is
+    monotone (once broken, a network stays broken as the grid grows)."""
+    from repro.experiments.scaling import scaling_sweep
+
+    results = {r.network: r for r in scaling_sweep(max_dim=32)}
+    # the paper's own scale is feasible for every network
+    for res in results.values():
+        for p in res.points:
+            if p.dim <= 8:
+                assert p.feasible, (res.network, p.dim)
+        # monotone: feasibility never comes back at a larger grid
+        broken = False
+        for p in res.points:
+            if broken:
+                assert not p.feasible, (res.network, p.dim)
+            broken = broken or not p.feasible
+        # laser power grows strictly with scale for every network
+        powers = [p.laser_power_w for p in res.points]
+        assert powers == sorted(powers) and powers[0] < powers[-1]
+    # hierarchy buys scale: hermes and limited p2p outlast the shared
+    # media (token ring / circuit switch / two-phase) and the full
+    # crossbar's wavelength wall
+    assert results["hermes"].breakpoint_dim > results["token_ring"].breakpoint_dim
+    assert (results["limited_point_to_point"].breakpoint_dim
+            > results["point_to_point"].breakpoint_dim)
 
 
 def test_golden_table_covers_all_figure6_networks():

@@ -53,3 +53,19 @@ def test_less_sharing_needs_more_lasers():
     little = provision(power_sharing_ways=1)
     lots = provision(power_sharing_ways=8)
     assert little.laser_modules == 8 * lots.laser_modules
+
+
+def test_edge_fiber_oversubscription_is_surfaced():
+    """PR 8 regression: ``fibers_available_for_memory_io`` clamps at
+    zero, which silently hid an over-subscribed macrochip edge.  The
+    32x32 grid's laser plant needs 2048 fibers against the ~2000-fiber
+    edge; ``fits_edge_fibers`` must say so."""
+    from repro.macrochip.config import grid_config
+    from repro.macrochip.provisioning import provision
+
+    ok = provision(grid_config(16))
+    assert ok.fits_edge_fibers
+    over = provision(grid_config(32))
+    assert over.edge_fibers_used == 2048
+    assert not over.fits_edge_fibers
+    assert over.fibers_available_for_memory_io == 0  # the clamped view

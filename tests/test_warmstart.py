@@ -250,3 +250,48 @@ def test_sweep_accepts_borrowed_pool():
         b = sweep("token_ring", CFG, _pattern(), FRACTIONS,
                   window_ns=WINDOW_NS, seed=SEED, warm=False)
     assert a == b
+
+
+# -- draw-bank cache keys for parametrized patterns (PR 8 regression) --------
+
+
+def test_draw_bank_keys_on_pattern_parameters():
+    """Regression: the warm draw bank used to key destination caches on
+    (seed, pattern class, layout) only, so two differently-parametrized
+    instances of one pattern class shared cached streams — the second
+    configuration silently replayed the first one's destinations.  The
+    key now includes ``draw_signature()``."""
+    from repro.workloads.synthetic import HotspotTraffic
+
+    def warm_run(fraction):
+        return run_load_point(
+            "point_to_point", CFG,
+            HotspotTraffic(CFG.layout, seed=1, hotspot_fraction=fraction),
+            0.10, window_ns=WINDOW_NS, seed=SEED, warm=True)
+
+    # populate the bank with the all-uniform configuration, then run the
+    # all-hotspot one through the same warm registries
+    mild = warm_run(0.0)
+    extreme = warm_run(1.0)
+    clear_contexts()
+    clear_draw_banks()
+    fresh_extreme = warm_run(1.0)
+    assert extreme == fresh_extreme
+    assert extreme != mild  # the knob visibly changes the traffic
+
+
+def test_bursty_pattern_bypasses_draw_bank_but_stays_deterministic():
+    """uses_custom_gaps patterns can't use the warm bank (it factors
+    unit exponentials); warm runs must still be bit-identical to cold."""
+    from repro.workloads.synthetic import BurstyTraffic
+
+    def run(warm):
+        return run_load_point(
+            "point_to_point", CFG, BurstyTraffic(CFG.layout, seed=1),
+            0.10, window_ns=WINDOW_NS, seed=SEED, warm=warm)
+
+    cold = run(False)
+    warm_a = run(True)
+    warm_b = run(True)
+    assert warm_a == cold
+    assert warm_b == cold
