@@ -182,6 +182,63 @@ def clear_draw_banks() -> int:
     return n
 
 
+#: execution backends for run_load_point: 'python' is the exact scalar
+#: event loop, 'vectorized' the numpy-batched fast path (see
+#: repro.core.vectorized) that falls back to 'python' whenever exactness
+#: would need real event dispatch
+BACKENDS = ("python", "vectorized")
+
+
+def _draw_schedules(pattern: TrafficPattern, config: MacrochipConfig,
+                    seed: int, mean_gap_ps: int, packets_per_site: int,
+                    rng_block: int, warm: bool
+                    ) -> Tuple[List[List[int]], List[List[int]]]:
+    """Per-site (gaps, destinations) for one load point's injections.
+
+    Shared by both execution backends, so their schedules are the same
+    lists — bit-identical by construction, not by reproof.  ``warm``
+    draws come from the interned :class:`_DrawBank` (unless the pattern
+    shapes arrival time itself); cold draws replay the same derived
+    streams block by block.
+    """
+    custom_gaps = getattr(pattern, "uses_custom_gaps", False)
+    if warm and not custom_gaps:
+        # draw from the interned bank: same streams, but the unit
+        # exponentials and destinations persist across load points.
+        # Patterns that shape arrival time (uses_custom_gaps) skip
+        # the bank — it factors *unit* exponentials, which cannot
+        # represent a modulated process — and draw directly below
+        # (warm network contexts still apply either way).
+        return _get_draw_bank(pattern, seed, config.num_sites).draws(
+            mean_gap_ps, packets_per_site)
+    # Every site draws gaps and destinations from its own derived RNG
+    # streams, so site k's traffic depends only on (seed, k) — never on
+    # how the other sites' events happen to interleave.  This is what
+    # makes load points shard-stable under parallel decomposition.
+    # Gaps go through the pattern's gap_draws hook, whose default is
+    # bit-identical to the historical exponential stream.
+    gap_rngs = [random.Random(derive_seed(seed, "gap", site))
+                for site in range(config.num_sites)]
+    site_patterns = [pattern.split(derive_seed(seed, "dst", site))
+                     for site in range(config.num_sites)]
+    site_gaps: List[List[int]] = []
+    site_dsts: List[List[int]] = []
+    for site in range(config.num_sites):
+        rng = gap_rngs[site]
+        pat = site_patterns[site]
+        gaps: List[int] = []
+        dsts: List[int] = []
+        remaining = packets_per_site
+        while remaining > 0:
+            take = rng_block if remaining > rng_block else remaining
+            gaps.extend(pat.gap_draws(rng, mean_gap_ps, take))
+            dsts.extend(pat.destinations(site, take))
+            remaining -= take
+        site_gaps.append(gaps)
+        site_dsts.append(dsts)
+    return site_gaps, site_dsts
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     offered_fraction: float
@@ -206,7 +263,8 @@ def run_load_point(network_name: str,
                    rng_block: int = 256,
                    saturation_threshold: float = 0.99,
                    adaptive: Optional[AdaptiveConfig] = None,
-                   warm: bool = False) -> LoadPointResult:
+                   warm: bool = False,
+                   backend: str = "python") -> LoadPointResult:
     """Simulate one point of a latency-vs-load curve.
 
     ``offered_fraction`` is per-site offered load as a fraction of the
@@ -258,7 +316,19 @@ def run_load_point(network_name: str,
     layers are bit-identical to cold construction (the reset protocol
     and the draw-stream factoring are each differentially tested), so
     ``warm`` changes wall-clock only, never results.
+
+    ``backend`` selects the execution engine: ``"python"`` (default) is
+    the scalar event loop; ``"vectorized"`` routes the run through
+    :mod:`repro.core.vectorized` — numpy-batched kernels proven
+    bit-identical to the scalar path — and silently falls back to
+    ``"python"`` whenever exactness needs real event dispatch (tracer
+    attached, invariants on, adaptive execution, ``rng_block=0``, numpy
+    missing, or a network without a registered kernel).  Either way the
+    returned result is the same bits; ``backend`` is wall-clock only.
     """
+    if backend not in BACKENDS:
+        raise ValueError("unknown backend %r; valid backends: %s"
+                         % (backend, ", ".join(BACKENDS)))
     if not 0.0 < offered_fraction:
         raise ValueError("offered load must be positive")
     site_peak = config.site_bandwidth_gb_per_s  # 320 GB/s = bytes/ns
@@ -267,6 +337,34 @@ def run_load_point(network_name: str,
     inject_window_ps = int(window_ns * 1000)
     packets_per_site = max(1, inject_window_ps // mean_gap_ps)
     warmup_ps = int(inject_window_ps * warmup_fraction)
+    horizon = int(inject_window_ps * (1.0 + drain_factor))
+
+    site_gaps = site_dsts = None
+    if rng_block > 0:
+        site_gaps, site_dsts = _draw_schedules(
+            pattern, config, seed, mean_gap_ps, packets_per_site,
+            rng_block, warm)
+
+    if backend == "vectorized":
+        from .vectorized import try_run_vectorized
+
+        result = try_run_vectorized(
+            network_name, config, pattern, offered_fraction,
+            packet_bytes=packet_bytes,
+            inject_window_ps=inject_window_ps,
+            packets_per_site=packets_per_site,
+            warmup_ps=warmup_ps,
+            horizon_ps=horizon,
+            site_gaps=site_gaps,
+            site_dsts=site_dsts,
+            network_kwargs=network_kwargs,
+            warm=warm,
+            tracer=tracer,
+            check_invariants=check_invariants,
+            adaptive=adaptive,
+            saturation_threshold=saturation_threshold)
+        if result is not None:
+            return result
 
     if warm:
         ctx = get_context(network_name, config, warmup_ps,
@@ -287,50 +385,12 @@ def run_load_point(network_name: str,
     #: of process history (how many packets this worker made before)
     pids = itertools.count()
 
-    custom_gaps = getattr(pattern, "uses_custom_gaps", False)
     if rng_block > 0:
-        # fast path: prefetch each site's gap and destination draws in
-        # blocks.  Each site's two streams are consumed in exactly the
-        # order the per-packet path consumes them, so the schedules (and
-        # hence event counts, latencies, everything) are bit-identical;
-        # the per-event work drops to two list indexes.
-        if warm and not custom_gaps:
-            # draw from the interned bank: same streams, but the unit
-            # exponentials and destinations persist across load points.
-            # Patterns that shape arrival time (uses_custom_gaps) skip
-            # the bank — it factors *unit* exponentials, which cannot
-            # represent a modulated process — and draw directly below
-            # (warm network contexts still apply either way).
-            site_gaps, site_dsts = _get_draw_bank(
-                pattern, seed, config.num_sites
-            ).draws(mean_gap_ps, packets_per_site)
-        else:
-            # Every site draws gaps and destinations from its own
-            # derived RNG streams, so site k's traffic depends only on
-            # (seed, k) — never on how the other sites' events happen to
-            # interleave.  This is what makes load points shard-stable
-            # under parallel decomposition.  Gaps go through the
-            # pattern's gap_draws hook, whose default is bit-identical
-            # to the historical exponential stream.
-            gap_rngs = [random.Random(derive_seed(seed, "gap", site))
-                        for site in range(config.num_sites)]
-            site_patterns = [pattern.split(derive_seed(seed, "dst", site))
-                             for site in range(config.num_sites)]
-            site_gaps = []
-            site_dsts = []
-            for site in range(config.num_sites):
-                rng = gap_rngs[site]
-                pat = site_patterns[site]
-                gaps: List[int] = []
-                dsts: List[int] = []
-                remaining = packets_per_site
-                while remaining > 0:
-                    take = rng_block if remaining > rng_block else remaining
-                    gaps.extend(pat.gap_draws(rng, mean_gap_ps, take))
-                    dsts.extend(pat.destinations(site, take))
-                    remaining -= take
-                site_gaps.append(gaps)
-                site_dsts.append(dsts)
+        # fast path: the site draws were prefetched above (shared with
+        # the vectorized backend).  Each site's two streams are consumed
+        # in exactly the order the per-packet path consumes them, so the
+        # schedules (and hence event counts, latencies, everything) are
+        # bit-identical; the per-event work drops to two list indexes.
 
         def injector(site: int, idx: int) -> None:
             net.inject(Packet(site, site_dsts[site][idx], packet_bytes,
@@ -362,7 +422,6 @@ def run_load_point(network_name: str,
                 gap_rngs[site], mean_gap_ps, 1)[0]
             sim.at(first, injector, site, packets_per_site)
 
-    horizon = int(inject_window_ps * (1.0 + drain_factor))
     if adaptive is not None:
         events, stop_reason, stopped_at_ps = execute_adaptive(
             sim, net.stats, inject_window_ps, horizon, adaptive,
@@ -468,6 +527,10 @@ def sweep(network_name: str,
     order — rather than aborting the sweep; callers that need the
     structured :class:`~repro.core.parallel.ShardError` records should
     drive :func:`run_sharded` directly (as the figure drivers do).
+
+    ``backend="vectorized"`` (an extra keyword, like the others it
+    reaches every load point) routes each point through the numpy
+    fast path — bit-identical results, see :mod:`repro.core.vectorized`.
     """
     shards = [
         Shard(run_load_point,

@@ -1,0 +1,365 @@
+"""Opt-in vectorized execution backend for ``run_load_point``.
+
+The scalar engine (:mod:`repro.core.engine`) dispatches one Python
+callback per event.  That is exact, flexible — and, for the six
+fixed-function network models driven by the open-loop sweep harness, far
+more general than needed: a load point's entire event population is
+determined by the injection schedule plus each network's (small) piece
+of arbitration state.  This module exploits that:
+
+* **Injection schedules as arrays.**  The per-site gap/destination draws
+  (shared verbatim with the scalar path — same ``_DrawBank``, same
+  blocked streams, so the schedules are bit-identical by construction)
+  are turned into absolute per-site arrival arrays once, instead of one
+  ``schedule()`` call per packet.
+* **Bulk kernels for contention-free spans.**  Networks whose only
+  shared resource is a per-pair FIFO channel (point-to-point, the
+  electrical baseline) never need an event loop at all: per-channel
+  delivery times follow the closed-form recurrence
+  ``finish_i = max(t_i, finish_{i-1}) + tx``, evaluated for every packet
+  at once with a segmented cumulative maximum.
+* **Replay loops with batched terminal delivers** for the arbitrated
+  networks (two-phase, token ring, circuit switched, limited
+  point-to-point): a tight ``heapq`` loop over flat integer state that
+  reproduces the engine's ``(time, seq)`` dispatch order exactly —
+  sequence numbers are allocated at the same points — while keeping
+  *deliver* events out of the heap entirely.  ``_deliver`` is terminal
+  in a sweep (no sink, no chained callbacks) and statistics are
+  order-independent integer accumulations, so delivery times can be
+  collected in arrays and folded into the result at the end.
+
+The backend is **opt-in** (``run_load_point(..., backend="vectorized")``)
+and falls back to the scalar engine — silently, with identical results —
+whenever exactness would require the real event loop: a tracer is
+attached, invariant checking is on, adaptive (checkpointed) execution is
+requested, the legacy ``rng_block=0`` draw path is selected, numpy is
+unavailable, or the network has no registered kernel (HERMES's snoopy
+broadcast fans one packet into per-listener events, which the batched
+deliver contract does not cover).  The equivalence contract — bit-equal
+:class:`~repro.core.sweep.LoadPointResult` fields and byte-identical
+canonical traces — is locked by ``tests/test_fastpath_equivalence.py``.
+
+numpy itself is an *optional* dependency (``pip install repro[fast]``):
+without it every request degrades gracefully to the python backend and
+:func:`require_numpy` explains how to enable the fast path.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from itertools import accumulate
+from typing import Any, Callable, Dict, List, NamedTuple, Optional
+
+try:  # pragma: no cover - exercised by CI's numpy-less tier-1 matrix
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: the numpy module when available, else None — kernels must only be
+#: invoked when this is not None (``try_run_vectorized`` guarantees it)
+np = _np
+
+NUMPY_HINT = (
+    "the vectorized backend needs numpy, which is an optional extra: "
+    "install it with `pip install repro[fast]` (or `pip install numpy`). "
+    "Without it, backend='vectorized' falls back to the exact python "
+    "engine — same results, scalar speed."
+)
+
+
+def have_numpy() -> bool:
+    """True when numpy imported and bulk kernels can run."""
+    return np is not None
+
+
+def require_numpy() -> None:
+    """Raise ``ImportError`` with the install hint when numpy is absent.
+
+    Used by callers for whom silent fallback would be misleading (the
+    vectorized benchmark, for one: comparing python vs python proves
+    nothing).  Library paths never call this — they degrade gracefully.
+    """
+    if np is None:
+        raise ImportError(NUMPY_HINT)
+
+
+#: network-key -> kernel registry.  Kernels are registered by the
+#: network modules at import time (the factory imports them all), so any
+#: network reachable through ``build_network`` has had the chance to
+#: register.  A kernel takes ``(net, plan)`` — a built network instance
+#: (cold or reset warm context; only derived constants and interned
+#: tables are read, no events ever run through it) and an
+#: :class:`InjectionPlan` — and returns a :class:`KernelOutput`.
+_KERNELS: Dict[str, Callable[..., "KernelOutput"]] = {}
+
+#: network-key -> human-readable reason for networks that deliberately
+#: have no kernel and always use the scalar engine
+_FALLBACKS: Dict[str, str] = {}
+
+
+def register_kernel(name: str):
+    """Class of decorators: ``@register_kernel("point_to_point")``."""
+
+    def deco(fn):
+        _KERNELS[name] = fn
+        return fn
+
+    return deco
+
+
+def register_fallback(name: str, reason: str) -> None:
+    """Declare that ``name`` intentionally has no vectorized kernel."""
+    _FALLBACKS[name] = reason
+
+
+def vectorized_networks() -> List[str]:
+    """Sorted network keys with a registered bulk/replay kernel."""
+    return sorted(_KERNELS)
+
+
+def fallback_networks() -> Dict[str, str]:
+    """Networks that declared a deliberate scalar fallback, with why."""
+    return dict(_FALLBACKS)
+
+
+class KernelOutput(NamedTuple):
+    """What a kernel hands back for shared result assembly.
+
+    ``deliver_t``/``deliver_inject`` hold one entry per *scheduled*
+    deliver event — including those past the horizon, which the engine
+    would have left undispatched; the assembler applies the horizon.
+    ``heap_events`` counts every dispatched non-deliver event (the
+    injector chain included) and ``heap_pending`` whether any
+    non-deliver event remained queued past the horizon.
+    """
+
+    heap_events: int
+    heap_pending: bool
+    deliver_t: Any  # sequence of int delivery times (list or ndarray)
+    deliver_inject: Any  # matching injection times
+    injected: int
+
+
+class InjectionPlan:
+    """The injection schedule plus run geometry a kernel consumes.
+
+    Built once per load point from the *same* per-site gap/destination
+    draws the scalar path uses (see ``repro.core.sweep``), so the
+    absolute arrival times — plain prefix sums of the gap lists — are
+    bit-identical to what the scalar injector chain would produce.
+    """
+
+    __slots__ = ("num_sites", "pps", "packet_bytes", "horizon_ps",
+                 "warmup_ps", "window_end_ps", "site_gaps", "site_dsts",
+                 "_times_list", "_times_np")
+
+    def __init__(self, num_sites: int, pps: int, packet_bytes: int,
+                 horizon_ps: int, warmup_ps: int, window_end_ps: int,
+                 site_gaps: List[List[int]],
+                 site_dsts: List[List[int]]) -> None:
+        self.num_sites = num_sites
+        self.pps = pps
+        self.packet_bytes = packet_bytes
+        self.horizon_ps = horizon_ps
+        self.warmup_ps = warmup_ps
+        self.window_end_ps = window_end_ps
+        self.site_gaps = site_gaps
+        self.site_dsts = site_dsts
+        self._times_list: Optional[List[List[int]]] = None
+        self._times_np = None
+
+    @property
+    def site_times(self) -> List[List[int]]:
+        """Absolute injection times per site (exact Python ints)."""
+        if self._times_list is None:
+            self._times_list = [list(accumulate(gaps[: self.pps]))
+                                for gaps in self.site_gaps]
+        return self._times_list
+
+    @property
+    def site_times_np(self):
+        """The same schedules as per-site int64 arrays (bulk kernels)."""
+        if self._times_np is None:
+            self._times_np = [np.asarray(times, dtype=np.int64)
+                              for times in self.site_times]
+        return self._times_np
+
+
+def pair_propagation_table(layout) -> List[int]:
+    """Flat ``src*n+dst`` optical propagation table for a layout.
+
+    The same per-pair values every network's lazy lookups resolve to
+    (``layout.propagation_delay_ps``); fully materialized and interned
+    per layout so kernels gather from one shared list.
+    """
+    from .interning import intern_table
+
+    n = layout.num_sites
+    return intern_table(
+        ("vec-pair-prop", layout),
+        lambda: [layout.propagation_delay_ps(s, d)
+                 for s in range(n) for d in range(n)])
+
+
+_warned_no_numpy = False
+
+
+def try_run_vectorized(network_name: str,
+                       config,
+                       pattern,
+                       offered_fraction: float,
+                       packet_bytes: int,
+                       inject_window_ps: int,
+                       packets_per_site: int,
+                       warmup_ps: int,
+                       horizon_ps: int,
+                       site_gaps: Optional[List[List[int]]],
+                       site_dsts: Optional[List[List[int]]],
+                       network_kwargs: Optional[dict],
+                       warm: bool,
+                       tracer,
+                       check_invariants: bool,
+                       adaptive,
+                       saturation_threshold: float):
+    """Run one load point through a registered kernel, or return None.
+
+    ``None`` means "use the scalar engine" — either numpy is missing,
+    the run needs real event dispatch (tracer / invariants / adaptive /
+    legacy ``rng_block=0`` draws), or the network has no kernel.  The
+    fallback is silent by design: results are identical either way, and
+    the sweep drivers pass ``backend=`` through unconditionally.
+    """
+    global _warned_no_numpy
+    if np is None:
+        if not _warned_no_numpy:
+            warnings.warn(NUMPY_HINT, RuntimeWarning, stacklevel=3)
+            _warned_no_numpy = True
+        return None
+    if tracer is not None or check_invariants or adaptive is not None:
+        return None
+    if site_gaps is None or site_dsts is None:  # rng_block=0 legacy path
+        return None
+    kernel = _KERNELS.get(network_name)
+    if kernel is None:
+        return None
+
+    if warm:
+        from .parallel import get_context
+
+        net = get_context(network_name, config, warmup_ps,
+                          network_kwargs=network_kwargs).network
+    else:
+        from .engine import Simulator
+        from ..networks.factory import build_network
+
+        net = build_network(network_name, config, Simulator(),
+                            warmup_ps=warmup_ps, **(network_kwargs or {}))
+
+    plan = InjectionPlan(config.num_sites, packets_per_site, packet_bytes,
+                         horizon_ps, warmup_ps, inject_window_ps,
+                         site_gaps, site_dsts)
+    out = kernel(net, plan)
+    return _assemble_result(network_name, pattern.name, offered_fraction,
+                            packet_bytes, plan, out, saturation_threshold)
+
+
+def _assemble_result(network_name: str, pattern_name: str,
+                     offered_fraction: float, packet_bytes: int,
+                     plan: InjectionPlan, out: KernelOutput,
+                     saturation_threshold: float):
+    """Fold a kernel's delivery arrays into a LoadPointResult.
+
+    Every arithmetic step mirrors the scalar collectors operation for
+    operation — integer sums, ``(sum / n) / 1000.0`` mean, nearest-rank
+    percentile over sorted *distinct* values, ``bytes * 1000.0 /
+    max(1, last - warmup)`` throughput — so the floats come out
+    bit-equal, not merely close.
+    """
+    from .sweep import LoadPointResult
+
+    horizon = plan.horizon_ps
+    warmup = plan.warmup_ps
+    window_end = plan.window_end_ps
+
+    dt = np.asarray(out.deliver_t, dtype=np.int64)
+    di = np.asarray(out.deliver_inject, dtype=np.int64)
+    pending = out.heap_pending
+    delivered = 0
+    mean_lat = float("nan")
+    p99 = float("nan")
+    throughput = 0.0
+    if dt.size:
+        dispatched = dt <= horizon
+        delivered = int(dispatched.sum())
+        if delivered < dt.size:
+            pending = True
+        # measurement window [warmup, window_end]; window_end <= horizon
+        # always (drain_factor >= 0), so in-window implies dispatched
+        in_window = (dt >= warmup) & (dt <= window_end)
+        n_in = int(in_window.sum())
+        if n_in:
+            lat = dt[in_window] - di[in_window]
+            lat_sum = int(lat.sum())
+            mean_lat = (lat_sum / n_in) / 1000.0
+            rank = max(1, int(math.ceil(99.0 / 100.0 * n_in)))
+            values, counts = np.unique(lat, return_counts=True)
+            cum = np.cumsum(counts)
+            p99 = int(values[int(np.searchsorted(cum, rank))]) / 1000.0
+            last = int(dt[in_window].max())
+            throughput = (n_in * packet_bytes) * 1000.0 / max(
+                1, last - warmup)
+
+    events = out.heap_events + delivered
+    saturated = delivered < out.injected * saturation_threshold
+    return LoadPointResult(
+        network=network_name,
+        pattern=pattern_name,
+        offered_fraction=offered_fraction,
+        mean_latency_ns=mean_lat,
+        p99_latency_ns=p99,
+        throughput_gb_per_s=throughput,
+        delivered_packets=delivered,
+        injected_packets=out.injected,
+        saturated=saturated,
+        events_dispatched=events,
+        stop_reason="horizon" if pending else "drained",
+        stopped_at_ps=horizon,
+    )
+
+
+def fifo_channel_delivery(np_mod, key, t, tx: int, prop):
+    """Closed-form per-channel FIFO service for channel networks.
+
+    ``key`` assigns each send to its channel, ``t`` is the send time
+    (both int64 arrays in any order), ``tx`` the (shared) serialization
+    time, ``prop[key]`` the per-channel propagation.  Returns
+    ``(deliver_times, order)`` where ``order`` is the stable sort
+    permutation applied — gather any per-packet auxiliary array (e.g.
+    injection times) through it to stay aligned with ``deliver_times``.
+
+    The engine's ``Channel.send`` recurrence is
+    ``finish_i = max(t_i, finish_{i-1}) + tx`` per channel in dispatch
+    order.  Substituting ``g_i = finish_i - tx*(i+1)`` (local index)
+    turns it into a running maximum ``g_i = max(t_i - tx*i, g_{i-1})``,
+    which a segmented cumulative maximum evaluates for every channel at
+    once.  The stable sort preserves each channel's dispatch order
+    (send times are non-decreasing per channel by construction).
+    """
+    np = np_mod
+    order = np.argsort(key, kind="stable")
+    sk = key[order]
+    st = t[order]
+    n_tot = sk.shape[0]
+    boundaries = np.empty(n_tot, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(sk[1:], sk[:-1], out=boundaries[1:])
+    seg_ids = np.cumsum(boundaries) - 1
+    first_idx = np.flatnonzero(boundaries)
+    local = np.arange(n_tot, dtype=np.int64) - first_idx[seg_ids]
+    v = st - tx * local
+    span = int(v.max()) - int(v.min()) + 1
+    bumped = v + seg_ids * span
+    run_max = np.maximum.accumulate(bumped) - seg_ids * span
+    finish = run_max + tx * (local + 1)
+    return finish + prop[sk], order

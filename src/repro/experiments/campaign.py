@@ -42,7 +42,7 @@ from ..macrochip.configio import config_to_dict
 from ..networks.factory import FIGURE7_NETWORKS
 from ..workloads.replay import replay
 
-_MANIFEST_VERSION = 1
+_MANIFEST_VERSION = 2
 _MANIFEST_NAME = "manifest.json"
 
 
@@ -51,10 +51,15 @@ class CampaignStateError(RuntimeError):
 
 
 def campaign_fingerprint(preset: Preset,
-                         config: MacrochipConfig) -> Dict[str, Any]:
+                         config: MacrochipConfig,
+                         backend: str = "python") -> Dict[str, Any]:
     """The JSON document that uniquely identifies what a campaign ran:
     the preset sizing plus the *full* configuration (every field, not
-    just overrides, so a change in defaults is also caught)."""
+    just overrides, so a change in defaults is also caught) plus the
+    execution backend.  Backends are bit-identical by contract, but the
+    manifest still records which one produced the cache so results from
+    different engines never silently alias — if the contract is ever
+    violated, the manifest points at the culprit instead of hiding it."""
     return {
         "version": _MANIFEST_VERSION,
         "preset": {
@@ -63,6 +68,7 @@ def campaign_fingerprint(preset: Preset,
             "synthetic_ops_per_core": preset.synthetic_ops_per_core,
         },
         "config": config_to_dict(config, full=True),
+        "backend": backend,
     }
 
 
@@ -124,14 +130,21 @@ class Campaign:
                  on_stale: str = "error",
                  on_error: str = "raise",
                  max_retries: int = 2,
-                 timeout_s: Optional[float] = None) -> None:
+                 timeout_s: Optional[float] = None,
+                 backend: str = "python") -> None:
+        from ..core.sweep import BACKENDS
+
         if on_stale not in ("error", "rebuild"):
             raise ValueError("on_stale must be 'error' or 'rebuild', got %r"
                              % on_stale)
+        if backend not in BACKENDS:
+            raise ValueError("unknown backend %r; valid backends: %s"
+                             % (backend, ", ".join(BACKENDS)))
         self.directory = directory
         self.preset = PRESETS[preset_name]
         self.config = config or scaled_config()
         self.workers = workers
+        self.backend = backend
         self.on_error = on_error
         self.max_retries = max_retries
         self.timeout_s = timeout_s
@@ -178,7 +191,7 @@ class Campaign:
         return os.path.join(self.directory, _MANIFEST_NAME)
 
     def fingerprint(self) -> Dict[str, Any]:
-        return campaign_fingerprint(self.preset, self.config)
+        return campaign_fingerprint(self.preset, self.config, self.backend)
 
     def _check_manifest(self, on_stale: str) -> None:
         """Validate the cache against this campaign's parameters; write

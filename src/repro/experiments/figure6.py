@@ -89,7 +89,8 @@ def run_figure6(config: MacrochipConfig = None,
                 pool: Optional[WorkerPool] = None,
                 on_error: str = "raise",
                 max_retries: int = 2,
-                timeout_s: Optional[float] = None) -> Figure6Result:
+                timeout_s: Optional[float] = None,
+                backend: str = "python") -> Figure6Result:
     """Run the Figure 6 sweeps over the exact fixed load grids.
 
     ``window_ns`` controls fidelity (injection window per load point);
@@ -116,6 +117,11 @@ def run_figure6(config: MacrochipConfig = None,
     ``'collect'``/``'retry'`` a failing load point is dropped from its
     curve and recorded in :attr:`Figure6Result.failures` instead of
     aborting the whole figure.
+
+    ``backend="vectorized"`` routes every load point through the numpy
+    fast path (:mod:`repro.core.vectorized`) — bit-identical curves,
+    scalar fallback where a network has no kernel (HERMES) or numpy is
+    missing.  ``"python"`` (default) is the exact scalar event loop.
     """
     cfg = config or scaled_config()
     result = Figure6Result(window_ns=window_ns)
@@ -135,7 +141,7 @@ def run_figure6(config: MacrochipConfig = None,
                     run_load_point,
                     args=(net, cfg, pattern, fraction),
                     kwargs=dict(window_ns=window_ns, rng_block=rng_block,
-                                warm=warm),
+                                warm=warm, backend=backend),
                     label="figure6 %s/%s @%.3f"
                           % (pattern_key, net, fraction)))
     run = run_sharded(shards, workers=workers, progress=progress,
@@ -170,7 +176,8 @@ def adaptive_coarse_grid(grid: List[float], stride: int = 2) -> List[float]:
 def _knee_shard(net: str, cfg: MacrochipConfig, pattern, coarse: List[float],
                 window_ns: float, bisections: int,
                 adaptive: AdaptiveConfig, rng_block: int,
-                warm: bool = True, on_error: str = "raise") -> KneeResult:
+                warm: bool = True, on_error: str = "raise",
+                backend: str = "python") -> KneeResult:
     """Module-level (picklable) shard body: one (pattern, network) knee
     refinement, run serially inside its worker.  ``warm`` flows through
     ``refine_knee``'s ``**kwargs`` into every probed load point — the
@@ -180,7 +187,7 @@ def _knee_shard(net: str, cfg: MacrochipConfig, pattern, coarse: List[float],
     :func:`~repro.core.adaptive.refine_knee`)."""
     return refine_knee(net, cfg, pattern, coarse, window_ns=window_ns,
                        bisections=bisections, adaptive=adaptive,
-                       rng_block=rng_block, warm=warm,
+                       rng_block=rng_block, warm=warm, backend=backend,
                        on_error="collect" if on_error != "raise" else "raise")
 
 
@@ -199,8 +206,8 @@ def run_figure6_adaptive(config: MacrochipConfig = None,
                          pool: Optional[WorkerPool] = None,
                          on_error: str = "raise",
                          max_retries: int = 2,
-                         timeout_s: Optional[float] = None
-                         ) -> Figure6Result:
+                         timeout_s: Optional[float] = None,
+                         backend: str = "python") -> Figure6Result:
     """The adaptive counterpart of :func:`run_figure6`.
 
     Instead of walking the fixed grids, every (pattern, network) pair
@@ -218,6 +225,11 @@ def run_figure6_adaptive(config: MacrochipConfig = None,
     point: far fewer simulated events for a knee of equal-or-better
     offered-load resolution.  The fixed path stays the default
     everywhere, and ``benchmarks/bench_sweep.py`` records the deltas.
+
+    ``backend`` is accepted for API uniformity with :func:`run_figure6`
+    and threads through to every probed load point, but checkpointed
+    (adaptive) execution always uses the scalar engine — the vectorized
+    backend declines such runs, exactly and silently.
     """
     cfg = config or scaled_config()
     stop_rules = adaptive if adaptive is not None else AdaptiveConfig()
@@ -237,7 +249,7 @@ def run_figure6_adaptive(config: MacrochipConfig = None,
             shards.append(Shard(
                 _knee_shard,
                 args=(net, cfg, pattern, coarse, window_ns, bisections,
-                      stop_rules, rng_block, warm, on_error),
+                      stop_rules, rng_block, warm, on_error, backend),
                 label="figure6-adaptive %s/%s" % (pattern_key, net)))
     run = run_sharded(shards, workers=workers, progress=progress,
                       cost_key=lambda s: sum(s.args[3]), pool=pool,

@@ -45,7 +45,8 @@ def generate(artifact: str, preset: str,
               max_retries: int = 2,
               timeout_s: float = None,
               networks=None,
-              signaling: str = "nrz") -> Dict[str, str]:
+              signaling: str = "nrz",
+              backend: str = "python") -> Dict[str, str]:
     """Produce {artifact_name: text} for the requested artifact set.
 
     ``adaptive=True`` switches the Figure 6 artifact to the knee-seeking
@@ -67,6 +68,12 @@ def generate(artifact: str, preset: str,
     (``--network hermes`` runs just the extension network); ``signaling``
     selects the line coding of the technology point (``nrz``, the
     bit-identical default, or ``pam4``) for every artifact.
+
+    ``backend`` selects the Figure 6 execution engine (``--backend``):
+    ``python`` (default) is the exact scalar event loop, ``vectorized``
+    the numpy-batched fast path of :mod:`repro.core.vectorized` —
+    bit-identical curves, with automatic scalar fallback where a
+    network has no kernel or numpy is missing.
     """
     config = None
     if signaling != "nrz":
@@ -87,7 +94,8 @@ def generate(artifact: str, preset: str,
                                     warm=warm, pool=shared_pool,
                                     on_error=on_error,
                                     max_retries=max_retries,
-                                    timeout_s=timeout_s)
+                                    timeout_s=timeout_s,
+                                    backend=backend)
             _progress("figure6 [%s]: %d load points, %d simulator events"
                       % (result.mode, result.load_points,
                          result.total_events))
@@ -205,6 +213,14 @@ def main(argv=None) -> int:
                              "factory key (repeatable; e.g. --network "
                              "hermes); implies --artifact figure6 unless "
                              "an artifact is named")
+    parser.add_argument("--backend", default="python",
+                        choices=["python", "vectorized"],
+                        help="Figure 6 execution engine: python (exact "
+                             "scalar event loop, default) or vectorized "
+                             "(numpy-batched fast path; bit-identical "
+                             "results, falls back to python per load "
+                             "point when numpy or a network kernel is "
+                             "missing)")
     parser.add_argument("--signaling", default="nrz",
                         choices=["nrz", "pam4"],
                         help="line coding of the technology point: nrz "
@@ -245,7 +261,8 @@ def main(argv=None) -> int:
                        warm=not args.cold, on_error=args.on_error,
                        max_retries=args.max_retries,
                        timeout_s=args.timeout_s,
-                       networks=args.networks, signaling=args.signaling)
+                       networks=args.networks, signaling=args.signaling,
+                       backend=args.backend)
     for name, text in outputs.items():
         print()
         print("=" * 72)

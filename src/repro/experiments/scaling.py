@@ -272,7 +272,8 @@ def breakpoint_table_text(results: List[ScalingResult] = None,
 
 def simulate_scale_point(network: str, dim: int, load_fraction: float = 0.05,
                          window_ns: float = 50.0, pattern: str = "uniform",
-                         seed: int = 1234):
+                         seed: int = 1234, backend: str = "python",
+                         check_invariants: bool = True):
     """Run one short simulated load point at an arbitrary grid size.
 
     Used by the CLI's ``--simulate`` flag, the CI scaling smoke, and the
@@ -280,6 +281,12 @@ def simulate_scale_point(network: str, dim: int, load_fraction: float = 0.05,
     Simulation is meant for dims <= 16 — a 32x32 point-to-point network
     materializes O(sites^2) channel state (~1M entries) and is analyzed
     analytically instead.
+
+    Invariant checking is on by default (this is a smoke-test entry
+    point).  It forces the scalar engine — the checkers consume a real
+    event trace — so ``backend="vectorized"`` only takes effect with
+    ``check_invariants=False``, which is how the PR 9 benchmark times
+    the fast path at 16x16.  Results are bit-identical in all cases.
     """
     from ..core.sweep import run_load_point
     from ..workloads.synthetic import make_pattern
@@ -288,4 +295,5 @@ def simulate_scale_point(network: str, dim: int, load_fraction: float = 0.05,
     pat = make_pattern(pattern, cfg.layout, seed=seed)
     return run_load_point(network, cfg, pat, load_fraction,
                           window_ns=window_ns, seed=seed,
-                          check_invariants=True)
+                          check_invariants=check_invariants,
+                          backend=backend)

@@ -35,7 +35,8 @@ from .base import Channel, InterSiteNetwork, Packet
 from ..core import tracing
 from ..core.engine import Simulator
 from ..core.interning import intern_memo
-from ..core.units import propagation_ps
+from ..core.units import propagation_ps, serialization_ps
+from ..core.vectorized import KernelOutput, register_kernel
 from ..macrochip.config import MacrochipConfig
 
 
@@ -194,3 +195,114 @@ class CircuitSwitchedTorus(InterSiteNetwork):
             self._begin_setup(packet)
         else:
             self._engines_free[src] += 1
+
+
+@register_kernel("circuit_switched")
+def _vectorized_circuit_switched(net: CircuitSwitchedTorus,
+                                 plan) -> KernelOutput:
+    """Replay kernel: engine pools + rx-port timelines over flat state.
+
+    Engine contention (a site's fixed pool of circuit engines, with a
+    FIFO overflow queue drained at teardown) couples packets through
+    dispatch order, so the load point replays the engine's ``(time,
+    seq)`` heap discipline exactly over flat integer state.  Delivers —
+    terminal in a sweep — are batched into arrays; the heap carries only
+    setup round trips and engine releases.  The per-pair setup/ack and
+    flight costs fill the *same* interned memos the scalar instances
+    share, so warm fills accumulate across backends too.
+    """
+    n = net._num_sites
+    pps = plan.pps
+    horizon = plan.horizon_ps
+    loop_ps = net.config.loopback_latency_ps
+    teardown = net.teardown_ps
+    tx = serialization_ps(plan.packet_bytes, net.data_gb_per_s)
+    setup_ack = net._setup_ack_table
+    flights = net._flight_table
+    times = plan.site_times
+    dsts = plan.site_dsts
+    engines_free = [net.engines_per_site] * n
+    engine_queue: List[Deque] = [deque() for _ in range(n)]
+    port_next_free = [0] * n
+
+    import heapq
+
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    # event kinds: 0 = injector, 1 = circuit ready (setup+ack done),
+    # 2 = engine release after teardown
+    heap = [(times[site][0], site, 0, site, 0, 0) for site in range(n)]
+    heapq.heapify(heap)
+    seq = n  # at_many stamped the initial injections 0..n-1 in site order
+    deliver_t = []
+    deliver_i = []
+    injected = 0
+    dispatched = 0
+    pending = False
+    while heap:
+        t, _, kind, a, b, c = heappop(heap)
+        if t > horizon:
+            pending = True
+            break
+        dispatched += 1
+        if kind == 0:
+            injected += 1
+            site = a
+            idx = b
+            dst = dsts[site][idx]
+            if dst == site:
+                deliver_t.append(t + loop_ps)
+                deliver_i.append(t)
+                seq += 1
+            elif engines_free[site] > 0:
+                engines_free[site] -= 1
+                pair = site * n + dst
+                rtt = setup_ack[pair]
+                if rtt < 0:
+                    rtt = (net.setup_latency_ps(site, dst)
+                           + net.ack_latency_ps(site, dst))
+                    setup_ack[pair] = rtt
+                heappush(heap, (t + rtt, seq, 1, site, dst, t))
+                seq += 1
+            else:
+                engine_queue[site].append((dst, t))
+            nxt = idx + 1
+            if nxt < pps:
+                heappush(heap, (times[site][nxt], seq, 0, site, nxt, 0))
+                seq += 1
+        elif kind == 1:
+            src = a
+            dst = b
+            pair = src * n + dst
+            flight = flights[pair]
+            if flight < 0:
+                flight = propagation_ps(
+                    net.config.layout.torus_distance_cm(src, dst))
+                flights[pair] = flight
+            floor = port_next_free[dst] - flight
+            start = t if t >= floor else floor
+            done_at_src = start + tx
+            port_next_free[dst] = done_at_src + flight
+            deliver_t.append(done_at_src + flight)
+            deliver_i.append(c)
+            seq += 1
+            heappush(heap, (done_at_src + teardown, seq, 2, src, 0, 0))
+            seq += 1
+        else:
+            src = a
+            queue = engine_queue[src]
+            if queue:
+                dst, t_inj = queue.popleft()
+                pair = src * n + dst
+                rtt = setup_ack[pair]
+                if rtt < 0:
+                    rtt = (net.setup_latency_ps(src, dst)
+                           + net.ack_latency_ps(src, dst))
+                    setup_ack[pair] = rtt
+                heappush(heap, (t + rtt, seq, 1, src, dst, t_inj))
+                seq += 1
+            else:
+                engines_free[src] += 1
+    return KernelOutput(heap_events=dispatched, heap_pending=pending,
+                        deliver_t=deliver_t, deliver_inject=deliver_i,
+                        injected=injected)

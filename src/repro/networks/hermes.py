@@ -38,8 +38,19 @@ from .base import Channel, InterSiteNetwork, Packet
 from ..core.engine import Simulator
 from ..core.interning import intern_memo, intern_table
 from ..core.units import propagation_ps
+from ..core.vectorized import register_fallback
 from ..macrochip.config import MacrochipConfig
 from ..photonics.power import router_energy_pj
+
+# HERMES deliberately has no vectorized kernel: the snoopy broadcast
+# fans one injected packet into per-listener detection events whose
+# count depends on live cluster membership, which breaks the batched
+# terminal-deliver contract of repro.core.vectorized.  The sweep
+# harness silently (and exactly) falls back to the scalar engine.
+register_fallback(
+    "hermes",
+    "snoopy broadcast fans one packet into per-listener events; "
+    "the scalar engine is authoritative")
 
 
 def normalize_cluster_dims(layout, cluster_rows: int,

@@ -21,6 +21,9 @@ from typing import Callable, List, Optional, Tuple
 from .base import Channel, InterSiteNetwork, Packet
 from ..core.engine import Simulator
 from ..core.interning import intern_table
+from ..core.units import serialization_ps
+from ..core.vectorized import (KernelOutput, pair_propagation_table,
+                               register_kernel)
 from ..macrochip.config import MacrochipConfig
 from ..photonics.power import router_energy_pj
 
@@ -180,3 +183,109 @@ class LimitedPointToPointNetwork(InterSiteNetwork):
         if ch is None:
             ch = self.channel(via, packet.dst)
         ch.send(packet, self._deliver)
+
+
+@register_kernel("limited_point_to_point")
+def _vectorized_limited_p2p(net: LimitedPointToPointNetwork,
+                            plan) -> KernelOutput:
+    """Replay kernel: exact event order over flat state, delivers batched.
+
+    The adaptive forwarder choice reads channel ``next_free`` at inject
+    time, so dispatch order matters and the load point cannot collapse
+    to a closed form.  Instead the kernel replays the engine's
+    ``(time, seq)`` heap discipline over flat integer state — sequence
+    numbers are allocated at exactly the points the engine allocates
+    them, *including* for delivers, which never enter the heap: a sweep
+    ``_deliver`` is terminal (stats only, order-independent), so
+    delivery times are collected into arrays and folded in at the end.
+    Heap traffic drops to the two forwarding hops per routed packet.
+    """
+    n = net._num_sites
+    pps = plan.pps
+    horizon = plan.horizon_ps
+    loop_ps = net.config.loopback_latency_ps
+    router_ps = net.router_latency_ps
+    tx = serialization_ps(plan.packet_bytes, net.channel_gb_per_s)
+    prop = pair_propagation_table(net.config.layout)
+    fwd_table = net._fwd_table
+    times = plan.site_times
+    dsts = plan.site_dsts
+    next_free = [0] * (n * n)
+
+    import heapq
+
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    # event kinds: 0 = injector, 1 = forwarder arrival (O-E conversion),
+    # 2 = re-transmission after the router
+    heap = [(times[site][0], site, 0, site, 0, 0) for site in range(n)]
+    heapq.heapify(heap)
+    seq = n  # at_many stamped the initial injections 0..n-1 in site order
+    deliver_t = []
+    deliver_i = []
+    injected = 0
+    dispatched = 0
+    pending = False
+    while heap:
+        t, _, kind, a, b, c = heappop(heap)
+        if t > horizon:
+            pending = True
+            break
+        dispatched += 1
+        if kind == 0:
+            injected += 1
+            site = a
+            idx = b
+            dst = dsts[site][idx]
+            if dst == site:
+                deliver_t.append(t + loop_ps)
+                deliver_i.append(t)
+                seq += 1
+            else:
+                fwd = fwd_table[site * n + dst]
+                if fwd is None:
+                    k = site * n + dst
+                    nf = next_free[k]
+                    start = t if t >= nf else nf
+                    next_free[k] = start + tx
+                    deliver_t.append(start + tx + prop[k])
+                    deliver_i.append(t)
+                    seq += 1
+                else:
+                    fa, fb = fwd
+                    ka = site * n + fa
+                    kb = site * n + fb
+                    qa = next_free[ka] - t
+                    if qa < 0:
+                        qa = 0
+                    qb = next_free[kb] - t
+                    if qb < 0:
+                        qb = 0
+                    if (qa, fa) <= (qb, fb):
+                        via, k = fa, ka
+                    else:
+                        via, k = fb, kb
+                    nf = next_free[k]
+                    start = t if t >= nf else nf
+                    next_free[k] = start + tx
+                    heappush(heap, (start + tx + prop[k], seq, 1,
+                                    via, dst, t))
+                    seq += 1
+            nxt = idx + 1
+            if nxt < pps:
+                heappush(heap, (times[site][nxt], seq, 0, site, nxt, 0))
+                seq += 1
+        elif kind == 1:
+            heappush(heap, (t + router_ps, seq, 2, a, b, c))
+            seq += 1
+        else:
+            k = a * n + b
+            nf = next_free[k]
+            start = t if t >= nf else nf
+            next_free[k] = start + tx
+            deliver_t.append(start + tx + prop[k])
+            deliver_i.append(c)
+            seq += 1
+    return KernelOutput(heap_events=dispatched, heap_pending=pending,
+                        deliver_t=deliver_t, deliver_inject=deliver_i,
+                        injected=injected)

@@ -37,6 +37,8 @@ from ..core import tracing
 from ..core.engine import Simulator
 from ..core.interning import intern_memo, intern_table
 from ..core.units import propagation_ps, serialization_ps
+from ..core.vectorized import (KernelOutput, pair_propagation_table,
+                               register_kernel)
 from ..macrochip.config import MacrochipConfig
 
 
@@ -218,6 +220,121 @@ class TwoPhaseArbitratedNetwork(InterSiteNetwork):
                              % (row, packet.dst),
                              start_ps=now, end_ps=now + dur)
         self.sim.schedule(ARB_SLOT_PS, self._arbitrate, packet)
+
+
+@register_kernel("two_phase")
+@register_kernel("two_phase_alt")
+def _vectorized_two_phase(net: TwoPhaseArbitratedNetwork,
+                          plan) -> KernelOutput:
+    """Replay kernel: slot reservation + switch-tree state, flat.
+
+    Wasted slots re-arbitrate against the live shared-channel timeline,
+    so dispatch order is load-bearing and the load point replays the
+    engine's ``(time, seq)`` heap discipline exactly.  Delivers are
+    batched out of the heap (terminal in a sweep); what remains per
+    packet is one slot-begin event per arbitration round.  Reads every
+    knob off the instance (``trees_per_column`` included), so the same
+    kernel serves both the base network and the ALT variant.
+    """
+    n = net._num_sites
+    cols = net.config.layout.cols
+    pps = plan.pps
+    horizon = plan.horizon_ps
+    loop_ps = net.config.loopback_latency_ps
+    lead = net._arb_lead_ps
+    reconfig = net.tree_reconfig_ps
+    trees_per_column = net.trees_per_column
+    dur = net.slot_duration_ps(plan.packet_bytes)
+    prop = pair_propagation_table(net.config.layout)
+    row_of = net._row_of
+    col_of = net._col_of
+    times = plan.site_times
+    dsts = plan.site_dsts
+    ch_next_free = [0] * (net.config.layout.rows * n)
+    tree_table: List[Optional[List[List[int]]]] = [None] * (n * cols)
+    idle_since = -(10 ** 15)  # untouched trees: idle since the distant past
+
+    import heapq
+
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    # event kinds: 0 = injector, 1 = slot begins (Tr), 2 = re-arbitrate
+    heap = [(times[site][0], site, 0, site, 0, 0) for site in range(n)]
+    heapq.heapify(heap)
+    seq = n  # at_many stamped the initial injections 0..n-1 in site order
+    deliver_t = []
+    deliver_i = []
+    injected = 0
+    dispatched = 0
+    pending = False
+    while heap:
+        t, _, kind, a, b, c = heappop(heap)
+        if t > horizon:
+            pending = True
+            break
+        dispatched += 1
+        if kind == 0:
+            injected += 1
+            site = a
+            idx = b
+            dst = dsts[site][idx]
+            if dst == site:
+                deliver_t.append(t + loop_ps)
+                deliver_i.append(t)
+                seq += 1
+            else:
+                key = row_of[site] * n + dst
+                nf = ch_next_free[key]
+                tr = t + lead
+                if tr < nf:
+                    tr = nf
+                ch_next_free[key] = tr + dur
+                heappush(heap, (tr, seq, 1, site, dst, t))
+                seq += 1
+            nxt = idx + 1
+            if nxt < pps:
+                heappush(heap, (times[site][nxt], seq, 0, site, nxt, 0))
+                seq += 1
+        elif kind == 1:
+            src = a
+            dst = b
+            trees = tree_table[src * cols + col_of[dst]]
+            if trees is None:
+                trees = tree_table[src * cols + col_of[dst]] = \
+                    [[idle_since, -1] for _ in range(trees_per_column)]
+            best = None
+            for tree in trees:
+                busy_until = tree[0]
+                ready = 0 if tree[1] == dst else 1
+                if busy_until + (reconfig if ready else 0) <= t:
+                    key = (ready, busy_until)
+                    if best is None or key < best[0]:
+                        best = (key, tree)
+            if best is not None:
+                tree = best[1]
+                tree[0] = t + dur
+                tree[1] = dst
+                deliver_t.append(t + dur + prop[src * n + dst])
+                deliver_i.append(c)
+                seq += 1
+            else:
+                # tree contention: slot wasted, re-arbitrate after a slot
+                heappush(heap, (t + ARB_SLOT_PS, seq, 2, src, dst, c))
+                seq += 1
+        else:
+            src = a
+            dst = b
+            key = row_of[src] * n + dst
+            nf = ch_next_free[key]
+            tr = t + lead
+            if tr < nf:
+                tr = nf
+            ch_next_free[key] = tr + dur
+            heappush(heap, (tr, seq, 1, src, dst, c))
+            seq += 1
+    return KernelOutput(heap_events=dispatched, heap_pending=pending,
+                        deliver_t=deliver_t, deliver_inject=deliver_i,
+                        injected=injected)
 
 
 class TwoPhaseAltNetwork(TwoPhaseArbitratedNetwork):

@@ -1,0 +1,165 @@
+"""Backend selection plumbing: CLI round-trip, campaign fingerprints,
+and the numpy-optional degradation seams (PR 9).
+
+The vectorized backend is only useful if asking for it actually reaches
+the hot loop — these tests pin the plumbing between the user-facing
+surfaces (``--backend`` on the CLI, ``backend=`` on ``Campaign``) and
+:func:`repro.core.sweep.run_load_point`, plus the failure modes: bad
+names are rejected with the valid choices listed, and a missing numpy
+raises an actionable ImportError from :func:`require_numpy` while
+``try_run_vectorized`` degrades silently to the scalar engine.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+import repro.core.vectorized as vectorized
+from repro.core.sweep import BACKENDS, run_load_point
+from repro.experiments import run as run_cli
+from repro.experiments.campaign import (Campaign, CampaignStateError,
+                                        campaign_fingerprint)
+from repro.experiments.scaling import simulate_scale_point
+from repro.macrochip.config import small_test_config
+from repro.workloads.synthetic import UniformTraffic
+
+CFG = small_test_config(2, 2)
+
+
+# -- CLI round-trip -----------------------------------------------------------
+
+def _capture_figure6(monkeypatch):
+    """Stub the Figure 6 drivers so main() exercises argument plumbing
+    without simulating anything; returns the captured kwargs dict."""
+    captured = {}
+
+    def stub(**kwargs):
+        captured.update(kwargs)
+        return SimpleNamespace(mode="fixed", load_points=0,
+                               total_events=0, failures=[])
+
+    monkeypatch.setattr(run_cli, "run_figure6", stub)
+    monkeypatch.setattr(run_cli, "run_figure6_adaptive", stub)
+    monkeypatch.setattr(run_cli, "figure6_text", lambda result: "stub")
+    return captured
+
+
+def test_cli_backend_roundtrips_to_figure6_driver(monkeypatch):
+    captured = _capture_figure6(monkeypatch)
+    assert run_cli.main(["--artifact", "figure6",
+                         "--backend", "vectorized"]) == 0
+    assert captured["backend"] == "vectorized"
+
+
+def test_cli_backend_defaults_to_python(monkeypatch):
+    captured = _capture_figure6(monkeypatch)
+    assert run_cli.main(["--artifact", "figure6"]) == 0
+    assert captured["backend"] == "python"
+
+
+def test_cli_backend_reaches_adaptive_driver(monkeypatch):
+    captured = _capture_figure6(monkeypatch)
+    assert run_cli.main(["--artifact", "figure6", "--adaptive",
+                         "--backend", "vectorized"]) == 0
+    assert captured["backend"] == "vectorized"
+
+
+def test_cli_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        run_cli.main(["--artifact", "figure6", "--backend", "jit"])
+
+
+# -- backend validation -------------------------------------------------------
+
+def test_run_load_point_lists_valid_backends_on_error():
+    with pytest.raises(ValueError) as exc:
+        run_load_point("point_to_point", CFG, UniformTraffic(CFG.layout),
+                       0.05, window_ns=40.0, backend="cython")
+    message = str(exc.value)
+    assert "'cython'" in message
+    for name in BACKENDS:
+        assert name in message
+
+
+def test_backends_tuple_is_the_cli_choice_list():
+    """The CLI choices and the sweep-layer validation must never drift
+    apart — both are derived from / match BACKENDS."""
+    assert BACKENDS == ("python", "vectorized")
+
+
+# -- campaign fingerprinting --------------------------------------------------
+
+def test_campaign_fingerprint_records_backend(tmp_path):
+    c = Campaign(str(tmp_path / "c"), preset_name="smoke", config=CFG,
+                 backend="vectorized")
+    assert c.fingerprint()["backend"] == "vectorized"
+    d = Campaign(str(tmp_path / "d"), preset_name="smoke", config=CFG)
+    assert d.fingerprint()["backend"] == "python"
+
+
+def test_campaign_backend_mismatch_never_aliases(tmp_path):
+    """A cache produced under one backend must not be silently reused by
+    a campaign configured for another."""
+    path = str(tmp_path / "c")
+    Campaign(path, preset_name="smoke", config=CFG)
+    with pytest.raises(CampaignStateError):
+        Campaign(path, preset_name="smoke", config=CFG,
+                 backend="vectorized")
+
+
+def test_campaign_rejects_unknown_backend(tmp_path):
+    with pytest.raises(ValueError) as exc:
+        Campaign(str(tmp_path / "c"), preset_name="smoke", config=CFG,
+                 backend="numba")
+    message = str(exc.value)
+    assert "python" in message and "vectorized" in message
+
+
+def test_campaign_fingerprint_helper_defaults_to_python():
+    from repro.experiments.evaluation import PRESETS
+
+    doc = campaign_fingerprint(PRESETS["smoke"], CFG)
+    assert doc["backend"] == "python"
+    assert doc["version"] >= 2
+
+
+# -- scaling entry point ------------------------------------------------------
+
+def test_simulate_scale_point_backend_bit_identical():
+    """The scaling study's simulated smoke points accept the backend
+    knob (with invariant checking off, which forces scalar otherwise)
+    and stay bit-identical."""
+    scalar = simulate_scale_point("point_to_point", 4,
+                                  check_invariants=False)
+    fast = simulate_scale_point("point_to_point", 4,
+                                check_invariants=False,
+                                backend="vectorized")
+    assert scalar.delivered_packets > 0
+    assert fast == scalar
+
+
+# -- numpy-optional seams -----------------------------------------------------
+
+def test_require_numpy_error_is_actionable(monkeypatch):
+    monkeypatch.setattr(vectorized, "np", None)
+    with pytest.raises(ImportError) as exc:
+        vectorized.require_numpy()
+    message = str(exc.value)
+    assert "repro[fast]" in message
+    assert "numpy" in message
+
+
+def test_missing_numpy_falls_back_to_scalar(monkeypatch):
+    """Without numpy, backend="vectorized" degrades to the scalar
+    engine per load point (one warning, identical results) instead of
+    crashing."""
+    monkeypatch.setattr(vectorized, "np", None)
+    monkeypatch.setattr(vectorized, "_warned_no_numpy", False)
+    pattern = UniformTraffic(CFG.layout)
+    scalar = run_load_point("point_to_point", CFG, pattern, 0.05,
+                            window_ns=40.0, seed=7)
+    with pytest.warns(RuntimeWarning, match="repro\\[fast\\]"):
+        fallback = run_load_point("point_to_point", CFG, pattern, 0.05,
+                                  window_ns=40.0, seed=7,
+                                  backend="vectorized")
+    assert fallback == scalar

@@ -30,10 +30,12 @@ from repro.core.adaptive import AdaptiveConfig
 from repro.core.engine import Simulator
 from repro.core.sweep import run_load_point
 from repro.core.tracing import TraceRecorder
+from repro.core.vectorized import (fallback_networks, have_numpy,
+                                   vectorized_networks)
 from repro.macrochip.config import small_test_config
 from repro.networks.base import Packet
 from repro.networks.factory import build_network
-from repro.workloads.synthetic import UniformTraffic
+from repro.workloads.synthetic import UniformTraffic, make_pattern
 
 from .conftest import random_traffic
 
@@ -171,3 +173,94 @@ def test_at_many_injection_matches_sequential_at(network):
     bulk = one_run(bulk=True)
     assert sequential == bulk
     assert sequential[2] == len(traffic)
+
+
+# -- PR 9: vectorized numpy backend -------------------------------------------
+#
+# The vectorized backend is opt-in (``backend="vectorized"``) and must be
+# *observationally identical* to the scalar engine: bit-identical
+# LoadPointResult records and byte-identical canonical traces.  Without
+# numpy every load point silently falls back to the scalar path, so the
+# equality assertions below stay meaningful (if vacuously true) on a
+# numpy-less interpreter; the registry test and the skip-marked kernel
+# tests document which runs actually exercised the fast path.
+
+needs_numpy = pytest.mark.skipif(
+    not have_numpy(), reason="numpy not installed (pip install repro[fast])")
+
+#: traffic patterns for the differential matrix — uniform is the random
+#: draw-heavy case, transpose the deterministic worst-case permutation
+VEC_PATTERNS = ("uniform", "transpose")
+
+
+def test_vectorized_registry_covers_figure6_networks():
+    """Every Figure 6 network except HERMES has a registered kernel;
+    HERMES is a documented deliberate fallback, not an accidental gap."""
+    registered = vectorized_networks()
+    for key in ("point_to_point", "limited_point_to_point", "token_ring",
+                "two_phase", "two_phase_alt", "circuit_switched",
+                "electrical_baseline"):
+        assert key in registered
+    assert "hermes" in fallback_networks()
+    assert "hermes" not in registered
+
+
+@needs_numpy
+@pytest.mark.parametrize("pattern_name", VEC_PATTERNS)
+@pytest.mark.parametrize("network,load", LOAD_POINTS)
+def test_vectorized_backend_bit_identical(network, load, pattern_name):
+    """backend="vectorized" must reproduce every LoadPointResult field
+    exactly — latency floats compared bit-for-bit, event counts, stop
+    reason, final clock — across all six networks, both sides of the
+    knee, and both traffic patterns."""
+    pattern = make_pattern(pattern_name, CFG.layout, seed=11)
+    scalar = run_load_point(network, CFG, pattern, load,
+                            window_ns=80.0, seed=7)
+    fast = run_load_point(network, CFG, pattern, load,
+                          window_ns=80.0, seed=7, backend="vectorized")
+    assert scalar.delivered_packets > 0
+    assert fast == scalar
+
+
+@pytest.mark.parametrize("network,load", LOAD_POINTS)
+def test_vectorized_backend_traces_byte_identical(network, load):
+    """Tracing under backend="vectorized" must emit byte-identical
+    canonical traces.  An attached tracer forces the scalar engine (the
+    trace IS the scalar dispatch order), so this locks down the fallback
+    seam: requesting the fast backend never perturbs a traced run."""
+    scalar = _canonical_trace(network, load)
+    fast = _canonical_trace(network, load, backend="vectorized")
+    assert len(fast) > 0
+    assert fast == scalar
+
+
+@needs_numpy
+@pytest.mark.parametrize("network", NETWORKS)
+def test_vectorized_warm_context_reuse_cycle(network):
+    """Warm-start contexts survive vectorized runs: alternating load
+    points through the same per-process context (low, high, low again)
+    must each be bit-identical to a cold scalar run — the kernel's
+    network-state reset leaves nothing behind between points."""
+    _, low, high = next(r for r in NETWORK_LOADS if r[0] == network)
+    pattern = UniformTraffic(CFG.layout)
+
+    def cold_scalar(load):
+        return run_load_point(network, CFG, pattern, load,
+                              window_ns=80.0, seed=7)
+
+    for load in (low, high, low):
+        warm_fast = run_load_point(network, CFG, pattern, load,
+                                   window_ns=80.0, seed=7,
+                                   warm=True, backend="vectorized")
+        assert warm_fast == cold_scalar(load)
+
+
+def test_unknown_backend_rejected_with_choices():
+    """A bad backend name fails fast, and the message lists the valid
+    choices so the caller can self-correct."""
+    with pytest.raises(ValueError) as exc:
+        run_load_point("point_to_point", CFG, UniformTraffic(CFG.layout),
+                       0.05, window_ns=80.0, seed=7, backend="numpy")
+    message = str(exc.value)
+    assert "numpy" in message
+    assert "python" in message and "vectorized" in message
