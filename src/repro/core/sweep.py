@@ -239,6 +239,37 @@ def _draw_schedules(pattern: TrafficPattern, config: MacrochipConfig,
     return site_gaps, site_dsts
 
 
+def _prewarm_draw_bank(config: MacrochipConfig, pattern: TrafficPattern,
+                       fractions: List[float], window_ns: float,
+                       kwargs: dict) -> None:
+    """Draw every load point of a sweep's schedules in one bank pass.
+
+    All of a sweep's load points share one :class:`_DrawBank` (the
+    draw streams are load-independent), so extending the bank once to
+    the *deepest* point's packet count replaces the per-point
+    incremental extensions with a single pass — each load point then
+    materializes its gaps from the cached draws.  Results are unchanged
+    by construction: the bank consumes each site's streams in the same
+    order regardless of extension granularity.  Serial sweeps only
+    (worker processes keep their own banks), and only for patterns the
+    bank serves (``uses_custom_gaps`` draws stay per point).
+    """
+    rng_block = kwargs.get("rng_block", 256)
+    if rng_block <= 0 or getattr(pattern, "uses_custom_gaps", False):
+        return
+    f_max = max(fractions)
+    if f_max <= 0.0:
+        return  # run_load_point raises the proper error per point
+    packet_bytes = kwargs.get("packet_bytes", 64)
+    seed = kwargs.get("seed", 12345)
+    mean_gap_ps = serialization_ps(
+        packet_bytes, f_max * config.site_bandwidth_gb_per_s)
+    inject_window_ps = int(window_ns * 1000)
+    packets_per_site = max(1, inject_window_ps // mean_gap_ps)
+    _get_draw_bank(pattern, seed, config.num_sites).draws(
+        mean_gap_ps, packets_per_site)
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     offered_fraction: float
@@ -320,11 +351,14 @@ def run_load_point(network_name: str,
     ``backend`` selects the execution engine: ``"python"`` (default) is
     the scalar event loop; ``"vectorized"`` routes the run through
     :mod:`repro.core.vectorized` — numpy-batched kernels proven
-    bit-identical to the scalar path — and silently falls back to
-    ``"python"`` whenever exactness needs real event dispatch (tracer
-    attached, invariants on, adaptive execution, ``rng_block=0``, numpy
-    missing, or a network without a registered kernel).  Either way the
-    returned result is the same bits; ``backend`` is wall-clock only.
+    bit-identical to the scalar path, including ``adaptive=`` runs
+    (whose checkpoint decisions are replayed from the kernel's arrays)
+    — and silently falls back to ``"python"`` whenever exactness needs
+    real event dispatch (tracer attached, invariants on,
+    ``rng_block=0``, numpy missing, or a network without a registered
+    kernel; the missing-numpy fallback warns once per call site, naming
+    the resolved backend).  Either way the returned result is the same
+    bits; ``backend`` is wall-clock only.
     """
     if backend not in BACKENDS:
         raise ValueError("unknown backend %r; valid backends: %s"
@@ -362,7 +396,8 @@ def run_load_point(network_name: str,
             tracer=tracer,
             check_invariants=check_invariants,
             adaptive=adaptive,
-            saturation_threshold=saturation_threshold)
+            saturation_threshold=saturation_threshold,
+            call_site="adaptive" if adaptive is not None else "sweep")
         if result is not None:
             return result
 
@@ -514,7 +549,11 @@ def sweep(network_name: str,
     Sweeps warm-start by default (``warm=True``): every load point after
     the first reuses the reset (simulator, network) context and the
     interned draw bank instead of rebuilding them — bit-identical
-    results, less wall-clock.  ``warm=False`` forces cold construction
+    results, less wall-clock.  Serial warm sweeps additionally draw all
+    load points' schedules in one bank pass up front
+    (:func:`_prewarm_draw_bank`) and, on the vectorized backend, reuse
+    a per-process kernel scratch arena keyed by the warm-context
+    fingerprint — both pure amortizations, results unchanged.  ``warm=False`` forces cold construction
     everywhere (the escape hatch exposed as ``--cold`` on the experiment
     CLIs).  ``pool`` lends a persistent
     :class:`~repro.core.parallel.WorkerPool` so consecutive sweeps reuse
@@ -532,6 +571,8 @@ def sweep(network_name: str,
     reaches every load point) routes each point through the numpy
     fast path — bit-identical results, see :mod:`repro.core.vectorized`.
     """
+    if warm and workers == 1 and fractions:
+        _prewarm_draw_bank(config, pattern, fractions, window_ns, kwargs)
     shards = [
         Shard(run_load_point,
               args=(network_name, config, pattern, f),

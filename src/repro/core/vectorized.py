@@ -28,14 +28,31 @@ of arbitration state.  This module exploits that:
   order-independent integer accumulations, so delivery times can be
   collected in arrays and folded into the result at the end.
 
-The backend is **opt-in** (``run_load_point(..., backend="vectorized")``)
-and falls back to the scalar engine — silently, with identical results —
-whenever exactness would require the real event loop: a tracer is
-attached, invariant checking is on, adaptive (checkpointed) execution is
-requested, the legacy ``rng_block=0`` draw path is selected, numpy is
-unavailable, or the network has no registered kernel (HERMES's snoopy
-broadcast fans one packet into per-listener events, which the batched
-deliver contract does not cover).  The equivalence contract — bit-equal
+* **Calendar-segmented replay** for kernels whose every dynamically
+  scheduled event provably trails its scheduler by at least some width
+  ``W`` (two-phase: the arbitration lead; circuit switched: data
+  serialization + teardown; limited point-to-point: the channel
+  serialization): events append to per-``W``-bucket lists and each
+  bucket is sorted once at dispatch time, replacing per-event heap
+  churn with C-level ``list.sort`` while preserving the exact
+  ``(time, seq)`` dispatch order.
+* **Checkpointed (adaptive) execution replayed from arrays.**  An
+  ``adaptive=`` run's stop rules read only monotone counters (injected/
+  delivered counts, the latency sample's count and sum) at fixed
+  checkpoint times; :func:`_run_adaptive` recovers every checkpoint
+  snapshot from the kernel's delivery arrays with ``searchsorted`` and
+  replays :func:`repro.core.adaptive.execute_adaptive`'s decision loop
+  float-for-float, so stop reasons, stop times, knees and early-stop
+  results are bit-identical to the scalar adaptive path.
+
+Every network the sweeps drive — HERMES's snoopy broadcast included —
+has a registered kernel; ``fallback_networks()`` is empty.  The backend
+is **opt-in** (``run_load_point(..., backend="vectorized")``) and falls
+back to the scalar engine — silently, with identical results — whenever
+exactness would require the real event loop: a tracer is attached,
+invariant checking is on, the legacy ``rng_block=0`` draw path is
+selected, numpy is unavailable, or the network has no registered
+kernel.  The equivalence contract — bit-equal
 :class:`~repro.core.sweep.LoadPointResult` fields and byte-identical
 canonical traces — is locked by ``tests/test_fastpath_equivalence.py``.
 
@@ -132,6 +149,13 @@ class KernelOutput(NamedTuple):
     ``heap_events`` counts every dispatched non-deliver event (the
     injector chain included) and ``heap_pending`` whether any
     non-deliver event remained queued past the horizon.
+
+    ``last_event_ps`` is the dispatch time of the *last* non-deliver
+    event — kernels dispatch in time order, so it is also the maximum.
+    Only read when ``heap_pending`` is False (the adaptive executor's
+    queue-empty test needs the instant the event population is
+    exhausted); kernels with an undispatched tail may leave it at any
+    value.
     """
 
     heap_events: int
@@ -139,6 +163,7 @@ class KernelOutput(NamedTuple):
     deliver_t: Any  # sequence of int delivery times (list or ndarray)
     deliver_inject: Any  # matching injection times
     injected: int
+    last_event_ps: int = 0
 
 
 class InjectionPlan:
@@ -148,16 +173,24 @@ class InjectionPlan:
     draws the scalar path uses (see ``repro.core.sweep``), so the
     absolute arrival times — plain prefix sums of the gap lists — are
     bit-identical to what the scalar injector chain would produce.
+
+    ``scratch`` is the per-process kernel scratch arena for this run's
+    warm context (None on cold runs): a plain dict keyed by kernel-chosen
+    names where kernels park reusable allocations (e.g. the calendar
+    bucket arrays) across the load points of a sweep.  Kernels must
+    return parked state in as-new condition — reuse is a pure allocation
+    amortization, never a results channel.
     """
 
     __slots__ = ("num_sites", "pps", "packet_bytes", "horizon_ps",
                  "warmup_ps", "window_end_ps", "site_gaps", "site_dsts",
-                 "_times_list", "_times_np")
+                 "scratch", "_times_list", "_times_np")
 
     def __init__(self, num_sites: int, pps: int, packet_bytes: int,
                  horizon_ps: int, warmup_ps: int, window_end_ps: int,
                  site_gaps: List[List[int]],
-                 site_dsts: List[List[int]]) -> None:
+                 site_dsts: List[List[int]],
+                 scratch: Optional[dict] = None) -> None:
         self.num_sites = num_sites
         self.pps = pps
         self.packet_bytes = packet_bytes
@@ -166,6 +199,7 @@ class InjectionPlan:
         self.window_end_ps = window_end_ps
         self.site_gaps = site_gaps
         self.site_dsts = site_dsts
+        self.scratch = scratch
         self._times_list: Optional[List[List[int]]] = None
         self._times_np = None
 
@@ -202,7 +236,47 @@ def pair_propagation_table(layout) -> List[int]:
                  for s in range(n) for d in range(n)])
 
 
-_warned_no_numpy = False
+#: call sites ("sweep" / "adaptive" / "campaign") already warned about a
+#: missing numpy — the fallback decision is reported once per site so
+#: silent-fallback debugging names where the resolution happened
+_warned_no_numpy: set = set()
+
+
+def warn_numpy_fallback(call_site: str, stacklevel: int = 3) -> None:
+    """Warn (once per call site) that ``backend='vectorized'`` resolved
+    to the scalar python engine because numpy is missing.  The message
+    names the call site that made the decision — sweep load point,
+    adaptive load point, or campaign construction — so the resolution
+    is diagnosable without reading this module."""
+    if call_site in _warned_no_numpy:
+        return
+    _warned_no_numpy.add(call_site)
+    warnings.warn(
+        "%s [backend='vectorized' requested at call site %r; resolved "
+        "backend: python]" % (NUMPY_HINT, call_site),
+        RuntimeWarning, stacklevel=stacklevel + 1)
+
+
+#: per-process kernel scratch arenas, keyed by the warm-context
+#: fingerprint (repro.core.parallel._context_key): kernels reuse
+#: preallocated structures (calendar bucket arrays, ...) across the load
+#: points of a sweep instead of reallocating per point
+_SCRATCH: Dict[Any, dict] = {}
+
+
+def kernel_scratch(key: Any) -> dict:
+    """The per-process scratch dict for a warm-context fingerprint."""
+    scratch = _SCRATCH.get(key)
+    if scratch is None:
+        scratch = _SCRATCH[key] = {}
+    return scratch
+
+
+def clear_kernel_scratch() -> int:
+    """Drop every kernel scratch arena (tests / memory pressure)."""
+    n = len(_SCRATCH)
+    _SCRATCH.clear()
+    return n
 
 
 def try_run_vectorized(network_name: str,
@@ -221,22 +295,26 @@ def try_run_vectorized(network_name: str,
                        tracer,
                        check_invariants: bool,
                        adaptive,
-                       saturation_threshold: float):
+                       saturation_threshold: float,
+                       call_site: str = "sweep"):
     """Run one load point through a registered kernel, or return None.
 
     ``None`` means "use the scalar engine" — either numpy is missing,
-    the run needs real event dispatch (tracer / invariants / adaptive /
-    legacy ``rng_block=0`` draws), or the network has no kernel.  The
-    fallback is silent by design: results are identical either way, and
-    the sweep drivers pass ``backend=`` through unconditionally.
+    the run needs real event dispatch (tracer / invariants / legacy
+    ``rng_block=0`` draws), or the network has no kernel.  The fallback
+    is silent by design (except the once-per-call-site missing-numpy
+    warning): results are identical either way, and the sweep drivers
+    pass ``backend=`` through unconditionally.
+
+    ``adaptive`` (an :class:`~repro.core.adaptive.AdaptiveConfig`) runs
+    the checkpointed executor's decision loop over the kernel's arrays
+    (see :func:`_run_adaptive`) — stop reasons, stop times and results
+    bit-identical to the scalar adaptive path.
     """
-    global _warned_no_numpy
     if np is None:
-        if not _warned_no_numpy:
-            warnings.warn(NUMPY_HINT, RuntimeWarning, stacklevel=3)
-            _warned_no_numpy = True
+        warn_numpy_fallback(call_site)
         return None
-    if tracer is not None or check_invariants or adaptive is not None:
+    if tracer is not None or check_invariants:
         return None
     if site_gaps is None or site_dsts is None:  # rng_block=0 legacy path
         return None
@@ -244,11 +322,14 @@ def try_run_vectorized(network_name: str,
     if kernel is None:
         return None
 
+    scratch = None
     if warm:
-        from .parallel import get_context
+        from .parallel import _context_key, get_context
 
         net = get_context(network_name, config, warmup_ps,
                           network_kwargs=network_kwargs).network
+        scratch = kernel_scratch(
+            _context_key(network_name, config, warmup_ps, network_kwargs))
     else:
         from .engine import Simulator
         from ..networks.factory import build_network
@@ -258,8 +339,12 @@ def try_run_vectorized(network_name: str,
 
     plan = InjectionPlan(config.num_sites, packets_per_site, packet_bytes,
                          horizon_ps, warmup_ps, inject_window_ps,
-                         site_gaps, site_dsts)
+                         site_gaps, site_dsts, scratch=scratch)
     out = kernel(net, plan)
+    if adaptive is not None:
+        return _run_adaptive(network_name, pattern.name, offered_fraction,
+                             packet_bytes, plan, out, kernel, net,
+                             adaptive, saturation_threshold)
     return _assemble_result(network_name, pattern.name, offered_fraction,
                             packet_bytes, plan, out, saturation_threshold)
 
@@ -325,6 +410,179 @@ def _assemble_result(network_name: str, pattern_name: str,
         events_dispatched=events,
         stop_reason="horizon" if pending else "drained",
         stopped_at_ps=horizon,
+    )
+
+
+def _run_adaptive(network_name: str, pattern_name: str,
+                  offered_fraction: float, packet_bytes: int,
+                  plan: InjectionPlan, out: KernelOutput, kernel, net,
+                  cfg, saturation_threshold: float):
+    """Replay the checkpointed executor's decision loop over kernel output.
+
+    The scalar adaptive path (:func:`repro.core.adaptive.execute_adaptive`)
+    steps the simulator in horizon slices and evaluates its stop rules
+    from monotone counters: injected/delivered packet counts, the
+    latency collector's count and sum, and the queue-empty test.  All of
+    those are pure functions of *which events have dispatched by the
+    checkpoint time* — so instead of stepping an event loop, this
+    replays the decision loop over the kernel's arrays: per-checkpoint
+    counter snapshots come from ``searchsorted`` on the sorted delivery/
+    injection times, and every float expression is evaluated in exactly
+    the order the scalar executor evaluates it, so the stop decisions
+    (reason *and* checkpoint) are bit-identical.
+
+    When no rule fires the run is exactly the fixed-window run (the
+    scalar executor's slicing dispatches the same events in the same
+    order), so the ordinary assembler produces the result.  When a rule
+    fires at checkpoint ``c``, the early-stop result needs the event
+    count the scalar run would have dispatched by ``c`` — the kernel is
+    re-run with ``horizon_ps = c``: dispatch order is a pure function of
+    ``(time, seq)``, so the events at or before ``c`` are a prefix and
+    the truncated replay dispatches exactly them.
+    """
+    horizon = plan.horizon_ps
+    window = plan.window_end_ps
+    warmup = plan.warmup_ps
+    planned = plan.num_sites * plan.pps
+    slice_ps = max(1, int(window * cfg.slice_fraction))
+
+    dt = np.asarray(out.deliver_t, dtype=np.int64)
+    di = np.asarray(out.deliver_inject, dtype=np.int64)
+    order = np.argsort(dt, kind="stable")
+    dt_sorted = dt[order]
+    lat_sorted = (dt - di)[order]
+    in_win = (dt_sorted >= warmup) & (dt_sorted <= window)
+    win_dt = dt_sorted[in_win]  # ascending: latency-collector feed order
+    win_lat = lat_sorted[in_win]
+    win_cum = np.cumsum(win_lat)
+    inj_sorted = np.sort(np.concatenate(plan.site_times_np)) \
+        if plan.num_sites else np.empty(0, dtype=np.int64)
+
+    # the instant the event queue empties, or None if events (deliver or
+    # otherwise) outlive the horizon and it never does
+    empty_at = None
+    if not out.heap_pending and (dt.size == 0
+                                 or int(dt_sorted[-1]) <= horizon):
+        empty_at = max(out.last_event_ps,
+                       int(dt_sorted[-1]) if dt.size else 0)
+
+    sat_deficit = (1.0 - saturation_threshold) * planned
+    batch_means: List[float] = []
+    prev_count = 0
+    prev_sum = 0
+    prev_backlog: Optional[int] = None
+    prev_delivered = 0
+    streak = 0
+    stop_reason = None
+    now = 0
+    while now < horizon:
+        now = min(now + slice_ps, horizon)
+        if empty_at is not None and empty_at <= now:
+            # queue empty at this checkpoint: the scalar executor
+            # returns ('drained', horizon) with the full event count —
+            # exactly the fixed-window result
+            return _assemble_result(network_name, pattern_name,
+                                    offered_fraction, packet_bytes, plan,
+                                    out, saturation_threshold)
+
+        delivered = int(np.searchsorted(dt_sorted, now, side="right"))
+        injected_now = int(np.searchsorted(inj_sorted, now, side="right"))
+        past_warmup = now > warmup
+        backlog = injected_now - delivered
+        delivery_rate = (delivered - prev_delivered) / slice_ps
+        remaining = planned - injected_now
+        inject_left = max(0, window - now)
+        drain_left = horizon - max(now, window)
+
+        if cfg.saturation_abort and past_warmup:
+            capacity = (delivery_rate * inject_left
+                        + cfg.drain_rate_factor * delivery_rate
+                        * drain_left)
+            if now <= window:
+                growing = prev_backlog is not None and backlog > prev_backlog
+            else:
+                growing = True
+            proven = (
+                injected_now >= cfg.min_abort_injected
+                and backlog + remaining - capacity
+                > cfg.abort_margin * sat_deficit)
+            streak = streak + 1 if (proven and growing) else 0
+            if streak >= cfg.abort_streak:
+                stop_reason = "saturated"
+                break
+
+        prev_backlog = backlog
+        prev_delivered = delivered
+
+        if (cfg.convergence_stop and past_warmup
+                and planned >= cfg.min_converge_planned):
+            count = int(np.searchsorted(win_dt, now, side="right"))
+            delta_n = count - prev_count
+            if delta_n > 0:
+                total = int(win_cum[count - 1]) if count else 0
+                batch_means.append((total - prev_sum) / delta_n)
+                prev_count, prev_sum = count, total
+                clears = (backlog + remaining
+                          - delivery_rate * (inject_left + drain_left)
+                          <= 0.0)
+                if len(batch_means) >= cfg.min_batches and clears:
+                    k = len(batch_means)
+                    grand = sum(batch_means) / k
+                    var = sum((b - grand) ** 2
+                              for b in batch_means) / (k - 1)
+                    half_width = cfg.confidence_z * math.sqrt(var / k)
+                    if grand > 0 and half_width <= cfg.rel_precision * grand:
+                        stop_reason = "converged"
+                        break
+
+    if stop_reason is None:
+        # no rule fired and the queue never emptied at a checkpoint: the
+        # scalar executor returns ('horizon', horizon) having dispatched
+        # every in-horizon event — the fixed-window result again
+        return _assemble_result(network_name, pattern_name,
+                                offered_fraction, packet_bytes, plan,
+                                out, saturation_threshold)
+
+    # early stop at checkpoint `now`: re-run the kernel truncated at the
+    # stop time for the prefix event count, and read the stop-time stats
+    # snapshots off the same sorted arrays
+    from .sweep import LoadPointResult
+
+    truncated = InjectionPlan(plan.num_sites, plan.pps, packet_bytes,
+                              now, warmup, window,
+                              plan.site_gaps, plan.site_dsts,
+                              scratch=plan.scratch)
+    delivered = int(np.searchsorted(dt_sorted, now, side="right"))
+    injected_now = int(np.searchsorted(inj_sorted, now, side="right"))
+    events = kernel(net, truncated).heap_events + delivered
+
+    count = int(np.searchsorted(win_dt, now, side="right"))
+    mean_lat = float("nan")
+    p99 = float("nan")
+    throughput = 0.0
+    if count:
+        lat_sum = int(win_cum[count - 1])
+        mean_lat = (lat_sum / count) / 1000.0
+        rank = max(1, int(math.ceil(99.0 / 100.0 * count)))
+        values, counts = np.unique(win_lat[:count], return_counts=True)
+        cum = np.cumsum(counts)
+        p99 = int(values[int(np.searchsorted(cum, rank))]) / 1000.0
+        last = int(win_dt[count - 1])
+        throughput = (count * packet_bytes) * 1000.0 / max(1, last - warmup)
+
+    return LoadPointResult(
+        network=network_name,
+        pattern=pattern_name,
+        offered_fraction=offered_fraction,
+        mean_latency_ns=mean_lat,
+        p99_latency_ns=p99,
+        throughput_gb_per_s=throughput,
+        delivered_packets=delivered,
+        injected_packets=injected_now,
+        saturated=stop_reason == "saturated",
+        events_dispatched=events,
+        stop_reason=stop_reason,
+        stopped_at_ps=now,
     )
 
 

@@ -140,6 +140,12 @@ class Campaign:
         if backend not in BACKENDS:
             raise ValueError("unknown backend %r; valid backends: %s"
                              % (backend, ", ".join(BACKENDS)))
+        if backend == "vectorized":
+            from ..core import vectorized
+            if vectorized.np is None:
+                # Warn once, up front: every load point this campaign
+                # runs would otherwise emit its own resolution notice.
+                vectorized.warn_numpy_fallback("campaign")
         self.directory = directory
         self.preset = PRESETS[preset_name]
         self.config = config or scaled_config()

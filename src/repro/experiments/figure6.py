@@ -226,10 +226,12 @@ def run_figure6_adaptive(config: MacrochipConfig = None,
     offered-load resolution.  The fixed path stays the default
     everywhere, and ``benchmarks/bench_sweep.py`` records the deltas.
 
-    ``backend`` is accepted for API uniformity with :func:`run_figure6`
-    and threads through to every probed load point, but checkpointed
-    (adaptive) execution always uses the scalar engine — the vectorized
-    backend declines such runs, exactly and silently.
+    ``backend`` threads through to every probed load point.  With
+    ``backend="vectorized"`` the checkpointed (adaptive) run is replayed
+    from kernel arrays — stop decisions, knees, and per-point results
+    are bit-identical to the scalar engine by contract (enforced by the
+    equivalence tests), so adaptive sweeps get the same speedup as fixed
+    grids.
     """
     cfg = config or scaled_config()
     stop_rules = adaptive if adaptive is not None else AdaptiveConfig()

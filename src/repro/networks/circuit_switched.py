@@ -205,11 +205,20 @@ def _vectorized_circuit_switched(net: CircuitSwitchedTorus,
     Engine contention (a site's fixed pool of circuit engines, with a
     FIFO overflow queue drained at teardown) couples packets through
     dispatch order, so the load point replays the engine's ``(time,
-    seq)`` heap discipline exactly over flat integer state.  Delivers —
-    terminal in a sweep — are batched into arrays; the heap carries only
-    setup round trips and engine releases.  The per-pair setup/ack and
-    flight costs fill the *same* interned memos the scalar instances
-    share, so warm fills accumulate across backends too.
+    seq)`` dispatch order exactly over flat integer state.  Like the
+    two-phase kernel, the replay is *calendar-segmented* rather than
+    heap-driven: a circuit-ready event trails its request by at least
+    the smallest setup+ack round trip (one control hop plus its flight)
+    and an engine release trails the ready event by at least the data
+    serialization plus teardown, so with buckets no wider than the
+    smaller of those two bounds no event ever lands in the bucket being
+    dispatched — append + one C-level sort per bucket replaces heap
+    churn.  Injections merge in from a size-``num_sites`` heap of
+    per-site stream heads on full ``(time, seq)`` tuples.  Delivers —
+    terminal in a sweep — are batched into arrays.  The per-pair
+    setup/ack and flight costs fill the *same* interned memos the
+    scalar instances share, so warm fills accumulate across backends
+    too.
     """
     n = net._num_sites
     pps = plan.pps
@@ -227,82 +236,152 @@ def _vectorized_circuit_switched(net: CircuitSwitchedTorus,
 
     import heapq
 
-    heappush = heapq.heappush
+    heapreplace = heapq.heapreplace
     heappop = heapq.heappop
-    # event kinds: 0 = injector, 1 = circuit ready (setup+ack done),
-    # 2 = engine release after teardown
-    heap = [(times[site][0], site, 0, site, 0, 0) for site in range(n)]
-    heapq.heapify(heap)
+    # every dynamically scheduled event trails its scheduler by at least
+    # W, so an event never lands in the bucket currently dispatching
+    W = max(1, min(tx + teardown, net.control_hop_ps + net.hop_prop_ps))
+    # bucket array parked in the warm context's scratch arena between
+    # load points (all-None on hand-back: every stored bucket index is
+    # <= horizon // W and gets cleared when dispatched)
+    scr = plan.scratch
+    buckets: Optional[List[Optional[list]]] = \
+        scr.pop("buckets", None) if scr is not None else None
+    if buckets is None or len(buckets) < horizon // W + 2:
+        buckets = [None] * (horizon // W + 2)
+    # per-site injection stream heads: (time, seq, site, idx)
+    inj_heap = [(times[site][0], site, site, 0) for site in range(n)]
+    heapq.heapify(inj_heap)
     seq = n  # at_many stamped the initial injections 0..n-1 in site order
     deliver_t = []
     deliver_i = []
     injected = 0
     dispatched = 0
     pending = False
-    while heap:
-        t, _, kind, a, b, c = heappop(heap)
-        if t > horizon:
-            pending = True
-            break
-        dispatched += 1
-        if kind == 0:
-            injected += 1
-            site = a
-            idx = b
-            dst = dsts[site][idx]
-            if dst == site:
-                deliver_t.append(t + loop_ps)
-                deliver_i.append(t)
-                seq += 1
-            elif engines_free[site] > 0:
-                engines_free[site] -= 1
-                pair = site * n + dst
-                rtt = setup_ack[pair]
-                if rtt < 0:
-                    rtt = (net.setup_latency_ps(site, dst)
-                           + net.ack_latency_ps(site, dst))
-                    setup_ack[pair] = rtt
-                heappush(heap, (t + rtt, seq, 1, site, dst, t))
-                seq += 1
+    t = 0
+    bucket = 0
+    last_bucket = horizon // W
+    while bucket <= last_bucket:
+        ev = buckets[bucket]
+        if ev is not None:
+            buckets[bucket] = None
+            ev.sort()
+        elif not inj_heap:
+            bucket += 1
+            continue
+        bucket_end = (bucket + 1) * W
+        i = 0
+        m = len(ev) if ev is not None else 0
+        while True:
+            if inj_heap:
+                inj = inj_heap[0]
+                if i < m:
+                    e = ev[i]
+                    take_inj = inj < e
+                else:
+                    e = None
+                    take_inj = inj[0] < bucket_end
+            elif i < m:
+                e = ev[i]
+                take_inj = False
             else:
-                engine_queue[site].append((dst, t))
-            nxt = idx + 1
-            if nxt < pps:
-                heappush(heap, (times[site][nxt], seq, 0, site, nxt, 0))
-                seq += 1
-        elif kind == 1:
-            src = a
-            dst = b
-            pair = src * n + dst
-            flight = flights[pair]
-            if flight < 0:
-                flight = propagation_ps(
-                    net.config.layout.torus_distance_cm(src, dst))
-                flights[pair] = flight
-            floor = port_next_free[dst] - flight
-            start = t if t >= floor else floor
-            done_at_src = start + tx
-            port_next_free[dst] = done_at_src + flight
-            deliver_t.append(done_at_src + flight)
-            deliver_i.append(c)
-            seq += 1
-            heappush(heap, (done_at_src + teardown, seq, 2, src, 0, 0))
-            seq += 1
-        else:
-            src = a
-            queue = engine_queue[src]
-            if queue:
-                dst, t_inj = queue.popleft()
+                break
+            if take_inj:
+                t, _, site, idx = inj
+                if t > horizon:
+                    pending = True
+                    heappop(inj_heap)
+                    continue
+                dispatched += 1
+                injected += 1
+                dst = dsts[site][idx]
+                if dst == site:
+                    deliver_t.append(t + loop_ps)
+                    deliver_i.append(t)
+                    seq += 1
+                elif engines_free[site] > 0:
+                    engines_free[site] -= 1
+                    pair = site * n + dst
+                    rtt = setup_ack[pair]
+                    if rtt < 0:
+                        rtt = (net.setup_latency_ps(site, dst)
+                               + net.ack_latency_ps(site, dst))
+                        setup_ack[pair] = rtt
+                    tr = t + rtt
+                    if tr > horizon:
+                        pending = True
+                    else:
+                        lst = buckets[tr // W]
+                        if lst is None:
+                            buckets[tr // W] = [(tr, seq, 1, site, dst, t)]
+                        else:
+                            lst.append((tr, seq, 1, site, dst, t))
+                    seq += 1
+                else:
+                    engine_queue[site].append((dst, t))
+                nxt = idx + 1
+                if nxt < pps:
+                    heapreplace(inj_heap, (times[site][nxt], seq, site, nxt))
+                    seq += 1
+                else:
+                    heappop(inj_heap)
+                continue
+            if e is None:
+                break
+            t, _, kind, src, dst, c = e
+            i += 1
+            dispatched += 1
+            if kind == 1:
                 pair = src * n + dst
-                rtt = setup_ack[pair]
-                if rtt < 0:
-                    rtt = (net.setup_latency_ps(src, dst)
-                           + net.ack_latency_ps(src, dst))
-                    setup_ack[pair] = rtt
-                heappush(heap, (t + rtt, seq, 1, src, dst, t_inj))
+                flight = flights[pair]
+                if flight < 0:
+                    flight = propagation_ps(
+                        net.config.layout.torus_distance_cm(src, dst))
+                    flights[pair] = flight
+                floor = port_next_free[dst] - flight
+                start = t if t >= floor else floor
+                done_at_src = start + tx
+                port_next_free[dst] = done_at_src + flight
+                deliver_t.append(done_at_src + flight)
+                deliver_i.append(c)
+                seq += 1
+                tr = done_at_src + teardown
+                if tr > horizon:
+                    pending = True
+                else:
+                    lst = buckets[tr // W]
+                    if lst is None:
+                        buckets[tr // W] = [(tr, seq, 2, src, 0, 0)]
+                    else:
+                        lst.append((tr, seq, 2, src, 0, 0))
                 seq += 1
             else:
-                engines_free[src] += 1
+                queue = engine_queue[src]
+                if queue:
+                    qdst, t_inj = queue.popleft()
+                    pair = src * n + qdst
+                    rtt = setup_ack[pair]
+                    if rtt < 0:
+                        rtt = (net.setup_latency_ps(src, qdst)
+                               + net.ack_latency_ps(src, qdst))
+                        setup_ack[pair] = rtt
+                    tr = t + rtt
+                    if tr > horizon:
+                        pending = True
+                    else:
+                        lst = buckets[tr // W]
+                        if lst is None:
+                            buckets[tr // W] = [(tr, seq, 1, src, qdst, t_inj)]
+                        else:
+                            lst.append((tr, seq, 1, src, qdst, t_inj))
+                    seq += 1
+                else:
+                    engines_free[src] += 1
+        bucket += 1
+    if inj_heap:
+        pending = True
+    if scr is not None:
+        scr["buckets"] = buckets
     return KernelOutput(heap_events=dispatched, heap_pending=pending,
                         deliver_t=deliver_t, deliver_inject=deliver_i,
-                        injected=injected)
+                        injected=injected, last_event_ps=t)

@@ -37,20 +37,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 from .base import Channel, InterSiteNetwork, Packet
 from ..core.engine import Simulator
 from ..core.interning import intern_memo, intern_table
-from ..core.units import propagation_ps
-from ..core.vectorized import register_fallback
+from ..core.units import propagation_ps, serialization_ps
+from ..core.vectorized import (KernelOutput, pair_propagation_table,
+                               register_kernel)
 from ..macrochip.config import MacrochipConfig
 from ..photonics.power import router_energy_pj
-
-# HERMES deliberately has no vectorized kernel: the snoopy broadcast
-# fans one injected packet into per-listener detection events whose
-# count depends on live cluster membership, which breaks the batched
-# terminal-deliver contract of repro.core.vectorized.  The sweep
-# harness silently (and exactly) falls back to the scalar engine.
-register_fallback(
-    "hermes",
-    "snoopy broadcast fans one packet into per-listener events; "
-    "the scalar engine is authoritative")
 
 
 def normalize_cluster_dims(layout, cluster_rows: int,
@@ -350,3 +341,143 @@ class HermesHierarchicalNetwork(InterSiteNetwork):
 
     def _rebroadcast(self, packet: Packet, gateway: int) -> None:
         self.ring_channel(gateway).send(packet, self._final_cb(gateway))
+
+
+@register_kernel("hermes")
+def _vectorized_hermes(net: HermesHierarchicalNetwork, plan) -> KernelOutput:
+    """Replay kernel: the three-leg broadcast hierarchy on flat state.
+
+    The snoopy broadcast itself needs no events — listeners are pure
+    energy/diagnostic accounting in the scalar model, and neither feeds
+    a :class:`~repro.core.sweep.LoadPointResult` — so the load-bearing
+    state is just the FIFO timeline of each single-writer ring channel
+    and of each gateway-pair global channel.  A gateway's ring channel
+    carries both its own intra-cluster injections and the rebroadcasts
+    of inbound cross-cluster traffic, so dispatch order matters and the
+    kernel replays the engine's ``(time, seq)`` discipline exactly; the
+    electronic gateway hops are replayed as their own events because
+    each dispatch allocates a sequence number the scalar engine also
+    allocates.  Delivers are batched out of the heap as usual — with
+    one twist: a global-channel arrival whose destination *is* the
+    gateway delivers synchronously inside the arrival event (no extra
+    event, no extra seq), so that arrival goes straight into the
+    deliver arrays instead of being counted as a heap event.
+    """
+    n = net._num_sites
+    num_clusters = net.num_clusters
+    cluster_of = net._cluster_of
+    gateway = net._gateway
+    ring_prop = net._ring_prop
+    pps = plan.pps
+    horizon = plan.horizon_ps
+    loop_ps = net.config.loopback_latency_ps
+    gw_lat = net.gateway_latency_ps
+    tx_ring = serialization_ps(plan.packet_bytes, net.ring_gb_per_s)
+    tx_glob = serialization_ps(plan.packet_bytes, net.global_gb_per_s)
+    prop = pair_propagation_table(net.config.layout)
+    glob_prop = [prop[gateway[a] * n + gateway[b]]
+                 for a in range(num_clusters) for b in range(num_clusters)]
+    times = plan.site_times
+    dsts = plan.site_dsts
+    ring_nf = [0] * n  # per-source ring channel next_free
+    glob_nf = [0] * (num_clusters * num_clusters)
+
+    import heapq
+
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    # event kinds: 0 = injector, 1 = ring arrival (final leg),
+    # 2 = ring arrival (first leg toward the local gateway),
+    # 3 = at the source gateway (O-E, router), 4 = global-channel send,
+    # 5 = global arrival needing rebroadcast, 6 = rebroadcast
+    heap = [(times[site][0], site, 0, site, 0, 0) for site in range(n)]
+    heapq.heapify(heap)
+    seq = n  # at_many stamped the initial injections 0..n-1 in site order
+    deliver_t = []
+    deliver_i = []
+    injected = 0
+    dispatched = 0
+    pending = False
+    t = 0
+    while heap:
+        t, _, kind, a, b, c = heappop(heap)
+        if t > horizon:
+            pending = True
+            break
+        dispatched += 1
+        if kind == 0:
+            injected += 1
+            site = a
+            idx = b
+            dst = dsts[site][idx]
+            if dst == site:
+                deliver_t.append(t + loop_ps)
+                deliver_i.append(t)
+                seq += 1
+            elif cluster_of[site] == cluster_of[dst]:
+                nf = ring_nf[site]
+                start = t if t >= nf else nf
+                ring_nf[site] = start + tx_ring
+                heappush(heap, (start + tx_ring, seq, 1, site, dst, t))
+                seq += 1
+            elif site == gateway[cluster_of[site]]:
+                # the gateway modulates straight onto the global channel
+                gkey = cluster_of[site] * num_clusters + cluster_of[dst]
+                nf = glob_nf[gkey]
+                start = t if t >= nf else nf
+                glob_nf[gkey] = start + tx_glob
+                arrival = start + tx_glob + glob_prop[gkey]
+                if dst == gateway[cluster_of[dst]]:
+                    deliver_t.append(arrival)
+                    deliver_i.append(t)
+                else:
+                    heappush(heap, (arrival, seq, 5, 0, dst, t))
+                seq += 1
+            else:
+                nf = ring_nf[site]
+                start = t if t >= nf else nf
+                ring_nf[site] = start + tx_ring
+                heappush(heap, (start + tx_ring, seq, 2, site, dst, t))
+                seq += 1
+            nxt = idx + 1
+            if nxt < pps:
+                heappush(heap, (times[site][nxt], seq, 0, site, nxt, 0))
+                seq += 1
+        elif kind == 1:
+            deliver_t.append(t + ring_prop[a * n + b])
+            deliver_i.append(c)
+            seq += 1
+        elif kind == 2:
+            gw = gateway[cluster_of[a]]
+            heappush(heap, (t + ring_prop[a * n + gw], seq, 3, a, b, c))
+            seq += 1
+        elif kind == 3:
+            heappush(heap, (t + gw_lat, seq, 4, a, b, c))
+            seq += 1
+        elif kind == 4:
+            gkey = cluster_of[a] * num_clusters + cluster_of[b]
+            nf = glob_nf[gkey]
+            start = t if t >= nf else nf
+            glob_nf[gkey] = start + tx_glob
+            arrival = start + tx_glob + glob_prop[gkey]
+            if b == gateway[cluster_of[b]]:
+                # the arrival event *is* the deliver (scalar _arrival_cb
+                # calls _deliver synchronously): batched, not a heap event
+                deliver_t.append(arrival)
+                deliver_i.append(c)
+            else:
+                heappush(heap, (arrival, seq, 5, 0, b, c))
+            seq += 1
+        elif kind == 5:
+            heappush(heap, (t + gw_lat, seq, 6, 0, b, c))
+            seq += 1
+        else:
+            gw = gateway[cluster_of[b]]
+            nf = ring_nf[gw]
+            start = t if t >= nf else nf
+            ring_nf[gw] = start + tx_ring
+            heappush(heap, (start + tx_ring, seq, 1, gw, b, c))
+            seq += 1
+    return KernelOutput(heap_events=dispatched, heap_pending=pending,
+                        deliver_t=deliver_t, deliver_inject=deliver_i,
+                        injected=injected, last_event_ps=t)

@@ -193,12 +193,20 @@ def _vectorized_limited_p2p(net: LimitedPointToPointNetwork,
     The adaptive forwarder choice reads channel ``next_free`` at inject
     time, so dispatch order matters and the load point cannot collapse
     to a closed form.  Instead the kernel replays the engine's
-    ``(time, seq)`` heap discipline over flat integer state — sequence
+    ``(time, seq)`` dispatch order over flat integer state — sequence
     numbers are allocated at exactly the points the engine allocates
-    them, *including* for delivers, which never enter the heap: a sweep
-    ``_deliver`` is terminal (stats only, order-independent), so
+    them, *including* for delivers, which never enter the replay: a
+    sweep ``_deliver`` is terminal (stats only, order-independent), so
     delivery times are collected into arrays and folded in at the end.
-    Heap traffic drops to the two forwarding hops per routed packet.
+
+    The replay is *calendar-segmented*: a forwarder arrival trails its
+    send by at least the serialization time (``start >= t`` and
+    propagation is non-negative) and the post-router re-transmission
+    trails the arrival by the router latency, so with buckets no wider
+    than ``min(tx, router_ps)`` no scheduled event ever lands in the
+    bucket currently dispatching — append + one C-level sort per bucket
+    replaces heap churn.  Injections merge in from a size-``num_sites``
+    heap of per-site stream heads on full ``(time, seq)`` tuples.
     """
     n = net._num_sites
     pps = plan.pps
@@ -214,78 +222,143 @@ def _vectorized_limited_p2p(net: LimitedPointToPointNetwork,
 
     import heapq
 
-    heappush = heapq.heappush
+    heapreplace = heapq.heapreplace
     heappop = heapq.heappop
-    # event kinds: 0 = injector, 1 = forwarder arrival (O-E conversion),
-    # 2 = re-transmission after the router
-    heap = [(times[site][0], site, 0, site, 0, 0) for site in range(n)]
-    heapq.heapify(heap)
+    # every dynamically scheduled event trails its scheduler by at least
+    # W, so an event never lands in the bucket currently dispatching
+    W = max(1, min(tx, router_ps))
+    # bucket array parked in the warm context's scratch arena between
+    # load points (all-None on hand-back: every stored bucket index is
+    # <= horizon // W and gets cleared when dispatched)
+    scr = plan.scratch
+    buckets: Optional[List[Optional[list]]] = \
+        scr.pop("buckets", None) if scr is not None else None
+    if buckets is None or len(buckets) < horizon // W + 2:
+        buckets = [None] * (horizon // W + 2)
+    # per-site injection stream heads: (time, seq, site, idx)
+    inj_heap = [(times[site][0], site, site, 0) for site in range(n)]
+    heapq.heapify(inj_heap)
     seq = n  # at_many stamped the initial injections 0..n-1 in site order
     deliver_t = []
     deliver_i = []
     injected = 0
     dispatched = 0
     pending = False
-    while heap:
-        t, _, kind, a, b, c = heappop(heap)
-        if t > horizon:
-            pending = True
-            break
-        dispatched += 1
-        if kind == 0:
-            injected += 1
-            site = a
-            idx = b
-            dst = dsts[site][idx]
-            if dst == site:
-                deliver_t.append(t + loop_ps)
-                deliver_i.append(t)
-                seq += 1
+    t = 0
+    bucket = 0
+    last_bucket = horizon // W
+    while bucket <= last_bucket:
+        ev = buckets[bucket]
+        if ev is not None:
+            buckets[bucket] = None
+            ev.sort()
+        elif not inj_heap:
+            bucket += 1
+            continue
+        bucket_end = (bucket + 1) * W
+        i = 0
+        m = len(ev) if ev is not None else 0
+        while True:
+            if inj_heap:
+                inj = inj_heap[0]
+                if i < m:
+                    e = ev[i]
+                    take_inj = inj < e
+                else:
+                    e = None
+                    take_inj = inj[0] < bucket_end
+            elif i < m:
+                e = ev[i]
+                take_inj = False
             else:
-                fwd = fwd_table[site * n + dst]
-                if fwd is None:
-                    k = site * n + dst
-                    nf = next_free[k]
-                    start = t if t >= nf else nf
-                    next_free[k] = start + tx
-                    deliver_t.append(start + tx + prop[k])
+                break
+            if take_inj:
+                t, _, site, idx = inj
+                if t > horizon:
+                    pending = True
+                    heappop(inj_heap)
+                    continue
+                dispatched += 1
+                injected += 1
+                dst = dsts[site][idx]
+                if dst == site:
+                    deliver_t.append(t + loop_ps)
                     deliver_i.append(t)
                     seq += 1
                 else:
-                    fa, fb = fwd
-                    ka = site * n + fa
-                    kb = site * n + fb
-                    qa = next_free[ka] - t
-                    if qa < 0:
-                        qa = 0
-                    qb = next_free[kb] - t
-                    if qb < 0:
-                        qb = 0
-                    if (qa, fa) <= (qb, fb):
-                        via, k = fa, ka
+                    fwd = fwd_table[site * n + dst]
+                    if fwd is None:
+                        k = site * n + dst
+                        nf = next_free[k]
+                        start = t if t >= nf else nf
+                        next_free[k] = start + tx
+                        deliver_t.append(start + tx + prop[k])
+                        deliver_i.append(t)
+                        seq += 1
                     else:
-                        via, k = fb, kb
-                    nf = next_free[k]
-                    start = t if t >= nf else nf
-                    next_free[k] = start + tx
-                    heappush(heap, (start + tx + prop[k], seq, 1,
-                                    via, dst, t))
+                        fa, fb = fwd
+                        ka = site * n + fa
+                        kb = site * n + fb
+                        qa = next_free[ka] - t
+                        if qa < 0:
+                            qa = 0
+                        qb = next_free[kb] - t
+                        if qb < 0:
+                            qb = 0
+                        if (qa, fa) <= (qb, fb):
+                            via, k = fa, ka
+                        else:
+                            via, k = fb, kb
+                        nf = next_free[k]
+                        start = t if t >= nf else nf
+                        next_free[k] = start + tx
+                        tr = start + tx + prop[k]
+                        if tr > horizon:
+                            pending = True
+                        else:
+                            lst = buckets[tr // W]
+                            if lst is None:
+                                buckets[tr // W] = [(tr, seq, 1,
+                                                     via, dst, t)]
+                            else:
+                                lst.append((tr, seq, 1, via, dst, t))
+                        seq += 1
+                nxt = idx + 1
+                if nxt < pps:
+                    heapreplace(inj_heap, (times[site][nxt], seq, site, nxt))
                     seq += 1
-            nxt = idx + 1
-            if nxt < pps:
-                heappush(heap, (times[site][nxt], seq, 0, site, nxt, 0))
+                else:
+                    heappop(inj_heap)
+                continue
+            if e is None:
+                break
+            t, _, kind, a, b, c = e
+            i += 1
+            dispatched += 1
+            if kind == 1:
+                tr = t + router_ps
+                if tr > horizon:
+                    pending = True
+                else:
+                    lst = buckets[tr // W]
+                    if lst is None:
+                        buckets[tr // W] = [(tr, seq, 2, a, b, c)]
+                    else:
+                        lst.append((tr, seq, 2, a, b, c))
                 seq += 1
-        elif kind == 1:
-            heappush(heap, (t + router_ps, seq, 2, a, b, c))
-            seq += 1
-        else:
-            k = a * n + b
-            nf = next_free[k]
-            start = t if t >= nf else nf
-            next_free[k] = start + tx
-            deliver_t.append(start + tx + prop[k])
-            deliver_i.append(c)
-            seq += 1
+            else:
+                k = a * n + b
+                nf = next_free[k]
+                start = t if t >= nf else nf
+                next_free[k] = start + tx
+                deliver_t.append(start + tx + prop[k])
+                deliver_i.append(c)
+                seq += 1
+        bucket += 1
+    if inj_heap:
+        pending = True
+    if scr is not None:
+        scr["buckets"] = buckets
     return KernelOutput(heap_events=dispatched, heap_pending=pending,
                         deliver_t=deliver_t, deliver_inject=deliver_i,
-                        injected=injected)
+                        injected=injected, last_event_ps=t)

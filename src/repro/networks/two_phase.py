@@ -230,11 +230,23 @@ def _vectorized_two_phase(net: TwoPhaseArbitratedNetwork,
 
     Wasted slots re-arbitrate against the live shared-channel timeline,
     so dispatch order is load-bearing and the load point replays the
-    engine's ``(time, seq)`` heap discipline exactly.  Delivers are
-    batched out of the heap (terminal in a sweep); what remains per
-    packet is one slot-begin event per arbitration round.  Reads every
-    knob off the instance (``trees_per_column`` included), so the same
-    kernel serves both the base network and the ALT variant.
+    engine's ``(time, seq)`` dispatch order exactly.  Instead of one
+    big heap, events are *segmented into calendar buckets* one
+    ``ARB_SLOT_PS`` wide: a slot begins at least ``_arb_lead_ps``
+    (> one slot) after its arbitration and a wasted slot re-arbitrates
+    exactly one slot later, so no protocol event ever lands in the
+    bucket currently being dispatched — each bucket's population is
+    complete before it is sorted, replacing O(log n) heap churn per
+    event with an amortized append + one C-level sort per bucket.
+    Injections (whose gaps can be arbitrarily small) merge in from a
+    size-``num_sites`` heap of per-site stream heads; the merge
+    compares full ``(time, seq)`` tuples, so ties resolve exactly as
+    the engine's heap would.  Events scheduled past the horizon are
+    counted as pending and never stored (the engine would never
+    dispatch them).  Delivers are batched out of the replay entirely
+    (terminal in a sweep).  Reads every knob off the instance
+    (``trees_per_column`` included), so the same kernel serves both
+    the base network and the ALT variant.
     """
     n = net._num_sites
     cols = net.config.layout.cols
@@ -256,85 +268,151 @@ def _vectorized_two_phase(net: TwoPhaseArbitratedNetwork,
 
     import heapq
 
-    heappush = heapq.heappush
+    heapreplace = heapq.heapreplace
     heappop = heapq.heappop
-    # event kinds: 0 = injector, 1 = slot begins (Tr), 2 = re-arbitrate
-    heap = [(times[site][0], site, 0, site, 0, 0) for site in range(n)]
-    heapq.heapify(heap)
+    W = ARB_SLOT_PS
+    # the bucket array is parked in the warm context's scratch arena
+    # between load points (always all-None on hand-back: every stored
+    # bucket index is <= horizon // W and gets cleared when dispatched)
+    scr = plan.scratch
+    buckets: Optional[List[Optional[list]]] = \
+        scr.pop("buckets", None) if scr is not None else None
+    if buckets is None or len(buckets) < horizon // W + 2:
+        buckets = [None] * (horizon // W + 2)
+    # per-site injection stream heads: (time, seq, site, idx)
+    inj_heap = [(times[site][0], site, site, 0) for site in range(n)]
+    heapq.heapify(inj_heap)
     seq = n  # at_many stamped the initial injections 0..n-1 in site order
     deliver_t = []
     deliver_i = []
     injected = 0
     dispatched = 0
     pending = False
-    while heap:
-        t, _, kind, a, b, c = heappop(heap)
-        if t > horizon:
-            pending = True
-            break
-        dispatched += 1
-        if kind == 0:
-            injected += 1
-            site = a
-            idx = b
-            dst = dsts[site][idx]
-            if dst == site:
-                deliver_t.append(t + loop_ps)
-                deliver_i.append(t)
-                seq += 1
+    t = 0
+    bucket = 0
+    last_bucket = horizon // W
+    while bucket <= last_bucket:
+        ev = buckets[bucket]
+        if ev is not None:
+            buckets[bucket] = None
+            ev.sort()
+        elif not inj_heap:
+            bucket += 1
+            continue
+        bucket_end = (bucket + 1) * W
+        i = 0
+        m = len(ev) if ev is not None else 0
+        while True:
+            if inj_heap:
+                inj = inj_heap[0]
+                if i < m:
+                    e = ev[i]
+                    take_inj = inj < e
+                else:
+                    e = None
+                    take_inj = inj[0] < bucket_end
+            elif i < m:
+                e = ev[i]
+                take_inj = False
             else:
-                key = row_of[site] * n + dst
+                break
+            if take_inj:
+                t, _, site, idx = inj
+                if t > horizon:
+                    pending = True
+                    heappop(inj_heap)
+                    continue
+                dispatched += 1
+                injected += 1
+                dst = dsts[site][idx]
+                if dst == site:
+                    deliver_t.append(t + loop_ps)
+                    deliver_i.append(t)
+                    seq += 1
+                else:
+                    key = row_of[site] * n + dst
+                    nf = ch_next_free[key]
+                    tr = t + lead
+                    if tr < nf:
+                        tr = nf
+                    ch_next_free[key] = tr + dur
+                    if tr > horizon:
+                        pending = True
+                    else:
+                        lst = buckets[tr // W]
+                        if lst is None:
+                            buckets[tr // W] = [(tr, seq, 1, site, dst, t)]
+                        else:
+                            lst.append((tr, seq, 1, site, dst, t))
+                    seq += 1
+                nxt = idx + 1
+                if nxt < pps:
+                    heapreplace(inj_heap, (times[site][nxt], seq, site, nxt))
+                    seq += 1
+                else:
+                    heappop(inj_heap)
+                continue
+            if e is None:
+                break
+            t, _, kind, src, dst, c = e
+            i += 1
+            dispatched += 1
+            if kind == 1:
+                trees = tree_table[src * cols + col_of[dst]]
+                if trees is None:
+                    trees = tree_table[src * cols + col_of[dst]] = \
+                        [[idle_since, -1] for _ in range(trees_per_column)]
+                best = None
+                for tree in trees:
+                    busy_until = tree[0]
+                    ready = 0 if tree[1] == dst else 1
+                    if busy_until + (reconfig if ready else 0) <= t:
+                        key = (ready, busy_until)
+                        if best is None or key < best[0]:
+                            best = (key, tree)
+                if best is not None:
+                    tree = best[1]
+                    tree[0] = t + dur
+                    tree[1] = dst
+                    deliver_t.append(t + dur + prop[src * n + dst])
+                    deliver_i.append(c)
+                    seq += 1
+                else:
+                    # tree contention: slot wasted, re-arbitrate next slot
+                    tr = t + W
+                    if tr > horizon:
+                        pending = True
+                    else:
+                        lst = buckets[tr // W]
+                        if lst is None:
+                            buckets[tr // W] = [(tr, seq, 2, src, dst, c)]
+                        else:
+                            lst.append((tr, seq, 2, src, dst, c))
+                    seq += 1
+            else:
+                key = row_of[src] * n + dst
                 nf = ch_next_free[key]
                 tr = t + lead
                 if tr < nf:
                     tr = nf
                 ch_next_free[key] = tr + dur
-                heappush(heap, (tr, seq, 1, site, dst, t))
+                if tr > horizon:
+                    pending = True
+                else:
+                    lst = buckets[tr // W]
+                    if lst is None:
+                        buckets[tr // W] = [(tr, seq, 1, src, dst, c)]
+                    else:
+                        lst.append((tr, seq, 1, src, dst, c))
                 seq += 1
-            nxt = idx + 1
-            if nxt < pps:
-                heappush(heap, (times[site][nxt], seq, 0, site, nxt, 0))
-                seq += 1
-        elif kind == 1:
-            src = a
-            dst = b
-            trees = tree_table[src * cols + col_of[dst]]
-            if trees is None:
-                trees = tree_table[src * cols + col_of[dst]] = \
-                    [[idle_since, -1] for _ in range(trees_per_column)]
-            best = None
-            for tree in trees:
-                busy_until = tree[0]
-                ready = 0 if tree[1] == dst else 1
-                if busy_until + (reconfig if ready else 0) <= t:
-                    key = (ready, busy_until)
-                    if best is None or key < best[0]:
-                        best = (key, tree)
-            if best is not None:
-                tree = best[1]
-                tree[0] = t + dur
-                tree[1] = dst
-                deliver_t.append(t + dur + prop[src * n + dst])
-                deliver_i.append(c)
-                seq += 1
-            else:
-                # tree contention: slot wasted, re-arbitrate after a slot
-                heappush(heap, (t + ARB_SLOT_PS, seq, 2, src, dst, c))
-                seq += 1
-        else:
-            src = a
-            dst = b
-            key = row_of[src] * n + dst
-            nf = ch_next_free[key]
-            tr = t + lead
-            if tr < nf:
-                tr = nf
-            ch_next_free[key] = tr + dur
-            heappush(heap, (tr, seq, 1, src, dst, c))
-            seq += 1
+        bucket += 1
+    if inj_heap:
+        pending = True
+    if scr is not None:
+        scr["buckets"] = buckets
     return KernelOutput(heap_events=dispatched, heap_pending=pending,
                         deliver_t=deliver_t, deliver_inject=deliver_i,
-                        injected=injected)
+                        injected=injected, last_event_ps=t)
 
 
 class TwoPhaseAltNetwork(TwoPhaseArbitratedNetwork):

@@ -10,6 +10,7 @@ raises an actionable ImportError from :func:`require_numpy` while
 ``try_run_vectorized`` degrades silently to the scalar engine.
 """
 
+import warnings
 from types import SimpleNamespace
 
 import pytest
@@ -151,15 +152,47 @@ def test_require_numpy_error_is_actionable(monkeypatch):
 
 def test_missing_numpy_falls_back_to_scalar(monkeypatch):
     """Without numpy, backend="vectorized" degrades to the scalar
-    engine per load point (one warning, identical results) instead of
-    crashing."""
+    engine per load point (one warning naming the call site that
+    resolved the backend, identical results) instead of crashing."""
     monkeypatch.setattr(vectorized, "np", None)
-    monkeypatch.setattr(vectorized, "_warned_no_numpy", False)
+    monkeypatch.setattr(vectorized, "_warned_no_numpy", set())
     pattern = UniformTraffic(CFG.layout)
     scalar = run_load_point("point_to_point", CFG, pattern, 0.05,
                             window_ns=40.0, seed=7)
-    with pytest.warns(RuntimeWarning, match="repro\\[fast\\]"):
+    with pytest.warns(RuntimeWarning, match="repro\\[fast\\]") as rec:
         fallback = run_load_point("point_to_point", CFG, pattern, 0.05,
                                   window_ns=40.0, seed=7,
                                   backend="vectorized")
     assert fallback == scalar
+    assert any("call site 'sweep'" in str(w.message) for w in rec)
+
+
+def test_missing_numpy_warns_once_per_call_site(monkeypatch):
+    """Each resolution site — sweep, adaptive, campaign — warns exactly
+    once: a second load point through the same site is silent, but a
+    different site still gets its own notice."""
+    from repro.core.adaptive import AdaptiveConfig
+
+    monkeypatch.setattr(vectorized, "np", None)
+    monkeypatch.setattr(vectorized, "_warned_no_numpy", set())
+    pattern = UniformTraffic(CFG.layout)
+    kwargs = dict(window_ns=40.0, seed=7, backend="vectorized")
+    with pytest.warns(RuntimeWarning, match="call site 'sweep'"):
+        run_load_point("point_to_point", CFG, pattern, 0.05, **kwargs)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # a repeat would now raise
+        run_load_point("point_to_point", CFG, pattern, 0.10, **kwargs)
+    with pytest.warns(RuntimeWarning, match="call site 'adaptive'"):
+        run_load_point("point_to_point", CFG, pattern, 0.05,
+                       adaptive=AdaptiveConfig().disabled(), **kwargs)
+
+
+def test_campaign_warns_missing_numpy_at_construction(monkeypatch,
+                                                      tmp_path):
+    """A vectorized Campaign on a numpy-less interpreter announces the
+    scalar resolution once, up front, instead of per load point."""
+    monkeypatch.setattr(vectorized, "np", None)
+    monkeypatch.setattr(vectorized, "_warned_no_numpy", set())
+    with pytest.warns(RuntimeWarning, match="call site 'campaign'"):
+        Campaign(str(tmp_path / "c"), preset_name="smoke", config=CFG,
+                 backend="vectorized")

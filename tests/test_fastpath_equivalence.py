@@ -193,16 +193,17 @@ needs_numpy = pytest.mark.skipif(
 VEC_PATTERNS = ("uniform", "transpose")
 
 
-def test_vectorized_registry_covers_figure6_networks():
-    """Every Figure 6 network except HERMES has a registered kernel;
-    HERMES is a documented deliberate fallback, not an accidental gap."""
+def test_vectorized_registry_covers_all_networks():
+    """Every network the sweeps drive — HERMES's snoopy broadcast
+    included since PR 10 — has a registered kernel, and the deliberate
+    fallback list is empty: any future gap is a test failure, not a
+    silent slow path."""
     registered = vectorized_networks()
     for key in ("point_to_point", "limited_point_to_point", "token_ring",
                 "two_phase", "two_phase_alt", "circuit_switched",
-                "electrical_baseline"):
+                "electrical_baseline", "hermes"):
         assert key in registered
-    assert "hermes" in fallback_networks()
-    assert "hermes" not in registered
+    assert fallback_networks() == {}
 
 
 @needs_numpy
@@ -253,6 +254,88 @@ def test_vectorized_warm_context_reuse_cycle(network):
                                    window_ns=80.0, seed=7,
                                    warm=True, backend="vectorized")
         assert warm_fast == cold_scalar(load)
+
+
+# -- PR 10: vectorized adaptive (checkpointed) execution ----------------------
+#
+# Adaptive runs replay the kernel's delivery arrays through the same stop
+# rules the scalar executor evaluates per checkpoint; the decision inputs
+# (injected/delivered counters, windowed latency sums, queue-empty tests)
+# are recovered exactly, so every LoadPointResult field — including
+# ``stop_reason`` and ``stopped_at_ps`` — must be bit-identical.
+
+def _results_equal(a, b):
+    """Exact field-wise equality, treating NaN == NaN (aborted points
+    have no in-window latencies, and float('nan') != float('nan'))."""
+    import dataclasses
+    import math
+    for f in dataclasses.fields(a):
+        x, y = getattr(a, f.name), getattr(b, f.name)
+        if (isinstance(x, float) and isinstance(y, float)
+                and math.isnan(x) and math.isnan(y)):
+            continue
+        if x != y:
+            return False
+    return True
+
+
+#: stop-rule variants: defaults (conservative), eager (forces the
+#: converged/saturated early-stop replay paths), both-off (pure
+#: re-slicing, must equal the fixed-window result)
+ADAPTIVE_VARIANTS = [
+    ("default", lambda: AdaptiveConfig()),
+    ("eager", lambda: AdaptiveConfig(min_converge_planned=0, min_batches=2,
+                                     min_abort_injected=16,
+                                     abort_streak=2)),
+    ("disabled", lambda: AdaptiveConfig().disabled()),
+]
+
+
+@needs_numpy
+@pytest.mark.parametrize("variant,make_cfg", ADAPTIVE_VARIANTS,
+                         ids=[v for v, _ in ADAPTIVE_VARIANTS])
+@pytest.mark.parametrize("network,load", LOAD_POINTS)
+def test_vectorized_adaptive_bit_identical(network, load, variant,
+                                           make_cfg):
+    """Checkpointed execution under backend="vectorized" must reproduce
+    the scalar adaptive executor exactly: same early-stop decision at
+    the same checkpoint, same event count, same latency floats."""
+    pattern = UniformTraffic(CFG.layout)
+    scalar = run_load_point(network, CFG, pattern, load,
+                            window_ns=80.0, seed=7, adaptive=make_cfg())
+    fast = run_load_point(network, CFG, pattern, load,
+                          window_ns=80.0, seed=7, adaptive=make_cfg(),
+                          backend="vectorized")
+    assert scalar.events_dispatched > 0
+    assert _results_equal(fast, scalar)
+
+
+@needs_numpy
+@pytest.mark.parametrize("network", NETWORKS)
+def test_vectorized_adaptive_knee_identical(network):
+    """refine_knee threads the backend through every probe, so knee
+    location, saturation flags, and probe results must all be identical
+    to the scalar walk."""
+    from repro.core.adaptive import refine_knee
+    _, low, high = next(r for r in NETWORK_LOADS if r[0] == network)
+    pattern = UniformTraffic(CFG.layout)
+    coarse = [low, (low + high) / 2, high, min(1.0, high * 3)]
+    kw = dict(window_ns=80.0, bisections=2, seed=7,
+              adaptive=AdaptiveConfig(min_converge_planned=0,
+                                      min_batches=2,
+                                      min_abort_injected=16,
+                                      abort_streak=2))
+    scalar = refine_knee(network, CFG, pattern, coarse, **kw)
+    fast = refine_knee(network, CFG, pattern, coarse,
+                       backend="vectorized", **kw)
+    assert fast.knee_fraction == scalar.knee_fraction
+    assert fast.knee_offered == scalar.knee_offered
+    assert fast.bracket_low == scalar.bracket_low
+    assert fast.bracket_high == scalar.bracket_high
+    assert fast.skipped_loads == scalar.skipped_loads
+    assert len(fast.points) == len(scalar.points)
+    for a, b in zip(fast.points, scalar.points):
+        assert _results_equal(a, b)
 
 
 def test_unknown_backend_rejected_with_choices():
